@@ -1,0 +1,79 @@
+"""Figure 14 -- latency vs request rate for the Llama Vision model.
+
+Poisson arrivals at increasing rates; reports mean end-to-end latency
+(E2EL), time-to-first-token (TTFT), and time-per-output-token (TPOT) for
+vLLM and Jenga.  Shapes to reproduce:
+
+* at low rates the two systems match (paper: 2.6% average difference);
+* past vLLM's capacity knee, Jenga's E2EL and especially TTFT are far
+  lower (paper: up to 2.24x and 29.43x);
+* Jenga's TPOT is slightly *higher* (it batches more requests per step).
+"""
+
+import pytest
+
+from repro import get_model, kv_budget
+from repro.platforms import L4
+from repro.reporting import Table, line_plot
+from repro.workloads import mmmu_pro, poisson_arrivals
+
+from common import save_result, serve
+
+# Table 1 pairs the Llama Vision model with L4 (FP8); the capacity knee of
+# the homogeneous baseline then falls in the ~1 req/s range the paper
+# sweeps.  vLLM fits ~9 concurrent requests (1.03 GiB KV each), Jenga ~47.
+RATES = (0.2, 0.5, 0.8, 1.1, 1.4)
+NUM_REQUESTS = 48
+
+
+def run_sweep():
+    model = get_model("llama3.2-vision-11b", quantized=True)
+    kv = kv_budget(model, L4).kv_bytes
+    rows = []
+    for rate in RATES:
+        cells = {}
+        for system in ("vllm", "jenga"):
+            reqs = poisson_arrivals(
+                mmmu_pro(NUM_REQUESTS, model, seed=11, mean_output=128),
+                rate=rate,
+                seed=5,
+            )
+            _, m = serve(model, L4, system, reqs, kv_bytes=kv,
+                         enable_prefix_caching=False)
+            cells[system] = (m.mean_e2el(), m.mean_ttft(), m.mean_tpot())
+        rows.append((rate, cells["vllm"], cells["jenga"]))
+    return rows
+
+
+def test_fig14_latency(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["rate req/s", "vLLM E2EL", "Jenga E2EL", "vLLM TTFT", "Jenga TTFT",
+         "vLLM TPOT", "Jenga TPOT"],
+        title="Figure 14: Llama Vision latency vs request rate "
+              "(paper: parity at low rate; 2.24x E2EL / 29.43x TTFT at high rate)",
+    )
+    for rate, v, j in rows:
+        table.add(f"{rate:.1f}", f"{v[0]:.2f}s", f"{j[0]:.2f}s",
+                  f"{v[1]:.2f}s", f"{j[1]:.2f}s",
+                  f"{v[2] * 1000:.1f}ms", f"{j[2] * 1000:.1f}ms")
+    table.print()
+    plot = line_plot(
+        {
+            "vLLM TTFT": [(rate, v[1]) for rate, v, _ in rows],
+            "Jenga TTFT": [(rate, j[1]) for rate, _, j in rows],
+        },
+        title="TTFT vs request rate (s)",
+        x_label="req/s", y_label="TTFT s",
+    )
+    print()
+    print(plot)
+    save_result("fig14_latency", table.render() + "\n\n" + plot)
+
+    low_v, low_j = rows[0][1], rows[0][2]
+    assert low_j[0] == pytest.approx(low_v[0], rel=0.1)  # low-rate parity
+    high_v, high_j = rows[-1][1], rows[-1][2]
+    assert high_j[0] < high_v[0]  # Jenga wins E2EL under load
+    assert high_j[1] < high_v[1] / 2  # TTFT gap is much larger
+    # Jenga batches more per step, so TPOT is (slightly) higher under load.
+    assert high_j[2] >= low_j[2]

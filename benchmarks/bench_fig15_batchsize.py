@@ -1,0 +1,69 @@
+"""Figure 15 -- decode batch size timeline on the long-document workload.
+
+20 requests arrive at once (inputs 55k-110k tokens, outputs 50-100) on
+Ministral 8B / H100.  Shapes to reproduce:
+
+* Jenga's average decode batch ~2x the PagedAttention engines'
+  (paper: 5.39 vs 2.63 / 2.74 / 2.50 for vLLM / SGLang / TGI);
+* Jenga finishes in roughly half the steps (~300 vs ~600);
+* TGI ends earlier only because it generates fewer tokens (no
+  ``--ignore-eos``).
+"""
+
+import pytest
+
+from repro import get_model, kv_budget
+from repro.platforms import H100
+from repro.reporting import Table, sparkline
+from repro.workloads import long_document_qa
+
+from common import save_result, serve
+
+SYSTEMS = (
+    ("jenga", "jenga", "vllm"),
+    ("vllm", "vllm", "vllm"),
+    ("sglang", "sglang", "sglang"),
+    ("tgi", "tgi", "tgi"),
+)
+
+
+def run_all():
+    model = get_model("ministral-8b")
+    kv = kv_budget(model, H100).kv_bytes
+    reqs = long_document_qa(20, seed=3)
+    results = {}
+    for label, system, profile in SYSTEMS:
+        _, m = serve(
+            model, H100, system, reqs, kv_bytes=kv,
+            enable_prefix_caching=False, profile=profile,
+        )
+        results[label] = m
+    return results
+
+
+def test_fig15_decode_batch(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        ["engine", "avg decode batch", "steps", "output tokens", "timeline"],
+        title="Figure 15: Ministral decode batch size, 20 long-document "
+              "requests (paper: Jenga 5.39 vs 2.63/2.74/2.50; ~300 vs ~600 steps)",
+    )
+    for label in ("jenga", "vllm", "sglang", "tgi"):
+        m = results[label]
+        table.add(
+            label,
+            f"{m.mean_decode_batch():.2f}",
+            len(m.steps),
+            m.total_output_tokens,
+            sparkline(m.decode_batch_timeline(), width=48),
+        )
+    table.print()
+    save_result("fig15_batchsize", table.render())
+
+    jenga = results["jenga"]
+    baselines = [results[s] for s in ("vllm", "sglang", "tgi")]
+    avg_baseline = sum(b.mean_decode_batch() for b in baselines) / 3
+    assert jenga.mean_decode_batch() > 1.3 * avg_baseline
+    assert len(jenga.steps) < len(results["vllm"].steps)
+    # TGI generates fewer tokens (no --ignore-eos), the paper's footnote.
+    assert results["tgi"].total_output_tokens < results["vllm"].total_output_tokens

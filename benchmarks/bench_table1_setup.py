@@ -1,0 +1,68 @@
+"""Table 1 -- the model / dataset / platform matrix.
+
+Prints the evaluation setup (with weight footprints and KV budgets) and
+verifies the feasibility facts Table 1 encodes: which models need FP8 on
+which platform, and that Jamba cannot fit on L4 at all.
+"""
+
+import pytest
+
+from repro import get_model, kv_budget
+from repro.models import GIB
+from repro.platforms import H100, L4
+from repro.platforms.gpu import OutOfMemoryError
+from repro.reporting import Table
+
+from common import save_result
+
+ROWS = [
+    # (family, dataset, h100_model, h100_quant, l4_model, l4_quant)
+    ("Llama 3.2 Vision", "MMMU-pro", "llama3.2-vision-11b", False, "llama3.2-vision-11b", True),
+    ("Gemma-2", "arXiv-QA", "gemma2-27b", False, "gemma2-9b", False),
+    ("Ministral", "arXiv-QA", "ministral-8b", False, "ministral-8b", True),
+    ("Jamba", "MMLU-pro", "jamba-52b", True, None, None),
+    ("Character.ai", "MMLU-pro", "characterai-70b", True, "characterai-8b", False),
+    ("PyramidKV", "MMLU-pro", "pyramidkv-70b", True, "pyramidkv-8b", False),
+    ("Llama 3", "MMLU-pro", "llama3-70b", True, "llama3-8b", False),
+]
+
+
+def cell(name, quant, gpu):
+    if name is None:
+        return "OOM"
+    model = get_model(name, quantized=quant)
+    try:
+        budget = kv_budget(model, gpu)
+    except OutOfMemoryError:
+        return "OOM"
+    star = "*" if quant else ""
+    return (
+        f"{name}{star} (w {budget.weight_bytes / GIB:.0f} GiB, "
+        f"kv {budget.kv_bytes / GIB:.0f} GiB)"
+    )
+
+
+def test_table1_setup(benchmark):
+    def run():
+        return [
+            (family, dataset, cell(h, hq, H100), cell(l, lq, L4))
+            for family, dataset, h, hq, l, lq in ROWS
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["model family", "dataset", "H100 80GB", "L4 24GB"],
+        title="Table 1: model and dataset matrix (* = FP8)",
+    )
+    for r in rows:
+        table.add(*r)
+    table.print()
+    save_result("table1_setup", table.render())
+
+    # Table 1's feasibility facts.
+    with pytest.raises(OutOfMemoryError):
+        kv_budget(get_model("jamba-52b", quantized=True), L4)
+    with pytest.raises(OutOfMemoryError):
+        kv_budget(get_model("llama3-70b"), H100)  # FP16 70B needs FP8
+    assert kv_budget(get_model("llama3-70b", quantized=True), H100).kv_bytes > 0
+    assert kv_budget(get_model("ministral-8b", quantized=True), L4).kv_bytes > 0

@@ -1,0 +1,6 @@
+"""Pytest wiring for the benchmark harness."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Customizable prefix caching on a sliding-window model (Figure 17).
+
+Multi-turn QA conversations over a pool of long articles on Gemma-2 9B.
+The vLLM-style cache treats every layer as full attention and must retain
+whole conversations in all layers; Jenga's sliding-window policy demotes
+out-of-window KV to an evict-first class, so its cache effectively holds
+~1.7x more conversations and sustains higher hit rates as the pool grows.
+
+Run:  python examples/prefix_caching_arxiv.py
+"""
+
+from repro import H100, LLMEngine, get_model, make_manager
+from repro.baselines import PagedAttentionManager
+from repro.engine.scheduler import profile_config
+from repro.models import GIB
+from repro.reporting import Table
+from repro.workloads import arxiv_qa_multiturn
+
+KV = 24 * GIB
+
+
+def run(system: str, num_articles: int):
+    model = get_model("gemma2-9b")
+    if system == "vllm":
+        manager = PagedAttentionManager(
+            model, KV, enable_prefix_caching=True,
+            allow_unsupported_prefix_caching=True,  # treat all layers as full
+        )
+    else:
+        manager = make_manager(system, model, KV, enable_prefix_caching=True)
+    engine = LLMEngine(
+        model, H100, manager, config=profile_config("vllm", max_num_seqs=2)
+    )
+    engine.add_requests(
+        arxiv_qa_multiturn(num_articles, 4, seed=1, article_tokens=16000)
+    )
+    metrics = engine.run()
+    return metrics.prefix_hit_rate, metrics.token_throughput()
+
+
+def main() -> None:
+    table = Table(
+        ["articles", "vLLM hit rate", "Jenga hit rate", "vLLM tok/s", "Jenga tok/s"],
+        title="Prefix caching: multi-turn arXiv QA, growing article pool",
+    )
+    for n in (2, 5, 8, 11):
+        hv, tv = run("vllm", n)
+        hj, tj = run("jenga", n)
+        table.add(n, f"{hv:.3f}", f"{hj:.3f}", f"{tv:.0f}", f"{tj:.0f}")
+    table.print()
+    print(
+        "\nWith few articles both caches hold everything; past vLLM's\n"
+        "capacity, Jenga's window-aware eviction keeps more conversations\n"
+        "hittable (the paper reports up to 1.60x higher hit rates)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Serving a vision-language model with the vision-embedding cache.
+
+LLaVA-OneVision prompts are dominated by image tokens (MMMU-pro averages
+6193 image vs 43 text tokens).  Two effects matter:
+
+1. Without Jenga, the homogeneous allocator reserves KV for image tokens
+   in *every* layer (Section 3.2's waste), shrinking the batch.
+2. Without the vision-embedding cache, each chunked-prefill step re-runs
+   the vision encoder (Figure 18); Jenga encodes once, caches the
+   embeddings, and frees each page as prefill consumes it (Section 6.2).
+
+Run:  python examples/vision_serving.py
+"""
+
+from repro import H100, LLMEngine, get_model, make_manager
+from repro.engine.scheduler import profile_config
+from repro.models import GIB
+from repro.reporting import Table
+from repro.workloads import mmmu_pro
+
+
+def main() -> None:
+    model = get_model("llava-onevision-7b")
+    print(f"{model.name}: {model.vision.tokens_per_image} tokens/image, "
+          f"embedding {model.vision.embed_bytes_per_token} B/token")
+    print(f"groups: {list(model.kv_groups())}\n")
+
+    kv = 16 * GIB
+    table = Table(
+        ["system", "vision cache", "req/s", "mean E2EL", "mean TTFT"],
+        title="MMMU-pro serving with chunked prefill (chunk = 1024)",
+    )
+    results = {}
+    for system in ("vllm", "jenga"):
+        manager = make_manager(system, model, kv, enable_prefix_caching=False)
+        engine = LLMEngine(
+            model, H100, manager,
+            config=profile_config("vllm", max_num_batched_tokens=1024),
+        )
+        engine.add_requests(mmmu_pro(24, model, seed=1))
+        metrics = engine.run()
+        results[system] = metrics
+        table.add(
+            system,
+            "yes" if manager.has_vision_cache else "no (re-encodes per chunk)",
+            f"{metrics.request_throughput():.2f}",
+            f"{metrics.mean_e2el():.2f}s",
+            f"{metrics.mean_ttft():.2f}s",
+        )
+    table.print()
+    gain = results["jenga"].request_throughput() / results["vllm"].request_throughput()
+    print(f"\nThroughput gain from encoding each image exactly once: {gain:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy editable installs go through ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Baseline memory managers the paper compares Jenga against.
+
+All baselines expose the same interface as
+:class:`~repro.core.kv_manager.JengaKVCacheManager`, so experiments swap
+only the manager (the paper's methodology: "we use vLLM v0.6.3 and only
+change the memory management system").
+
+Factory: :func:`make_manager` builds a manager by system name.
+"""
+
+from __future__ import annotations
+
+
+from ..core.kv_manager import JengaKVCacheManager
+from ..models.config import ModelSpec
+from .gcd_page import GCDPageManager
+from .manual_spec import DualManager, manual_spec_managers
+from .max_page import MaxPageManager, max_page_specs
+from .paged_attention import PagedAttentionManager, unified_group_specs
+from .vattention import VAttentionManager
+
+__all__ = [
+    "DualManager",
+    "GCDPageManager",
+    "MaxPageManager",
+    "PagedAttentionManager",
+    "VAttentionManager",
+    "make_manager",
+    "manual_spec_managers",
+    "max_page_specs",
+    "unified_group_specs",
+]
+
+SYSTEMS = ("jenga", "vllm", "sglang", "tgi", "max", "gcd", "vattention")
+
+
+def make_manager(
+    system: str,
+    model: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = True,
+    max_num_seqs: int = 256,
+    seed: int = 0,
+):
+    """Build a KV manager by system name.
+
+    ``jenga`` -- the paper's system; ``vllm``/``sglang``/``tgi`` -- the
+    homogeneous PagedAttention manager (these engines share it; their
+    scheduler differences live in
+    :func:`repro.engine.scheduler.profile_config`); ``max``/``gcd`` -- the
+    Section 4.4 compatibility-layer alternatives.
+    """
+    if system == "jenga":
+        return JengaKVCacheManager(
+            model.kv_groups(tokens_per_page),
+            kv_bytes,
+            enable_prefix_caching=enable_prefix_caching,
+            seed=seed,
+        )
+    if system in ("vllm", "sglang", "tgi"):
+        return PagedAttentionManager(
+            model,
+            kv_bytes,
+            tokens_per_page=tokens_per_page,
+            enable_prefix_caching=enable_prefix_caching,
+            max_num_seqs=max_num_seqs,
+            seed=seed,
+        )
+    if system == "max":
+        return MaxPageManager(
+            model.kv_groups(tokens_per_page),
+            kv_bytes,
+            enable_prefix_caching=enable_prefix_caching,
+            seed=seed,
+        )
+    if system == "vattention":
+        return VAttentionManager(model, kv_bytes, max_num_seqs=max_num_seqs, seed=seed)
+    if system == "gcd":
+        return GCDPageManager(
+            model.kv_groups(tokens_per_page),
+            kv_bytes,
+            enable_prefix_caching=enable_prefix_caching,
+            seed=seed,
+        )
+    raise KeyError(f"unknown system {system!r}; available: {SYSTEMS}")

@@ -1,0 +1,63 @@
+"""vAttention-style baseline (Section 8's related work).
+
+vAttention allocates each request a *contiguous virtual* KV range and
+commits physical memory behind it at GPU-driver granularity (2 MiB pages).
+Relative to PagedAttention this trades the page-table indirection for:
+
+* **coarse allocation granularity** -- every request rounds up to whole
+  2 MiB chunks per layer, so short requests over-allocate heavily;
+* **no prefix-subset tracking** -- the paper notes virtual-memory
+  mechanisms cannot express per-layer-type dependencies, so neither
+  sliding-window freeing nor prefix caching is available;
+* driver-call overhead on every commit/release (not modeled here; the
+  memory effects alone already separate the designs).
+
+Implementation: the memory behaviour is exactly a homogeneous manager
+whose page holds ``ceil(2 MiB / per_token_bytes)`` tokens with caching
+disabled, so we reuse :class:`PagedAttentionManager` with that geometry.
+"""
+
+from __future__ import annotations
+
+from ..models.config import ModelSpec
+from .paged_attention import PagedAttentionManager
+
+__all__ = ["VAttentionManager", "DRIVER_CHUNK_BYTES"]
+
+DRIVER_CHUNK_BYTES = 2 * 1024 * 1024  # CUDA VMM granularity
+
+
+class VAttentionManager(PagedAttentionManager):
+    """Contiguous-virtual-memory allocator with 2 MiB commit granularity."""
+
+    name = "vattention"
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        total_bytes: int,
+        chunk_bytes: int = DRIVER_CHUNK_BYTES,
+        max_num_seqs: int = 256,
+        seed: int = 0,
+    ) -> None:
+        # The driver commits 2 MiB at a time *per K/V region per layer*, so
+        # the token granularity is chunk_bytes over a single layer's K (or
+        # V) bytes per token -- e.g. 1024 tokens for Llama-3 8B, a 128 MiB
+        # minimum commit per request across all 64 K/V regions.
+        per_layer_token = max(
+            (l.per_token_bytes(model.kv_dtype_bytes) for l in model.layers),
+            default=0,
+        )
+        if per_layer_token <= 0:
+            raise ValueError(f"{model.name} has no attention KV")
+        tokens_per_chunk = max(1, (2 * chunk_bytes) // per_layer_token)
+        super().__init__(
+            model,
+            total_bytes,
+            tokens_per_page=tokens_per_chunk,
+            enable_prefix_caching=False,  # VM cannot track prefix subsets
+            max_num_seqs=max_num_seqs,
+            seed=seed,
+        )
+        self.chunk_bytes = chunk_bytes
+        self.tokens_per_chunk = tokens_per_chunk

@@ -1,0 +1,73 @@
+"""Jenga's core: two-level LCM allocation and customizable prefix caching.
+
+Public entry point: :class:`~repro.core.kv_manager.JengaKVCacheManager`.
+"""
+
+from .evictor import LRUEvictor
+from .kv_manager import GroupBinding, JengaKVCacheManager
+from .layer_policy import (
+    CROSS_ATTENTION,
+    CrossAttentionPolicy,
+    DROPPED_TOKEN,
+    DroppedTokenPolicy,
+    FULL_ATTENTION,
+    FullAttentionPolicy,
+    GroupSpec,
+    LayerTypePolicy,
+    MAMBA,
+    MambaPolicy,
+    SLIDING_WINDOW,
+    SlidingWindowPolicy,
+    VISION_EMBEDDING,
+    VisionEmbeddingPolicy,
+    make_policy,
+)
+from .lcm_allocator import LCMAllocator, OutOfLargePagesError
+from .math_utils import compatible_page_bytes, gcd_of, lcm_blowup, lcm_of
+from .offload import HostMemoryPool, OffloadConfig, OffloadStats
+from .pages import LargePage, PageState, PhysicalExtent, SmallPage
+from .prefix_cache import CachedBlockIndex, chain_hashes, longest_common_prefix
+from .sequence import IMAGE, TEXT, SequenceSpec
+from .two_level import AllocatorStats, TwoLevelAllocator
+
+__all__ = [
+    "AllocatorStats",
+    "CachedBlockIndex",
+    "CROSS_ATTENTION",
+    "CrossAttentionPolicy",
+    "DROPPED_TOKEN",
+    "DroppedTokenPolicy",
+    "FULL_ATTENTION",
+    "FullAttentionPolicy",
+    "GroupBinding",
+    "GroupSpec",
+    "HostMemoryPool",
+    "IMAGE",
+    "JengaKVCacheManager",
+    "LargePage",
+    "LayerTypePolicy",
+    "LCMAllocator",
+    "LRUEvictor",
+    "MAMBA",
+    "MambaPolicy",
+    "OffloadConfig",
+    "OffloadStats",
+    "OutOfLargePagesError",
+    "PageState",
+    "PhysicalExtent",
+    "SequenceSpec",
+    "SLIDING_WINDOW",
+    "SlidingWindowPolicy",
+    "SmallPage",
+    "TEXT",
+    "TwoLevelAllocator",
+    "VISION_EMBEDDING",
+    "VisionEmbeddingPolicy",
+    "chain_hashes",
+    "compatible_page_bytes",
+    "gcd_of",
+    "lcm_blowup",
+    "lcm_of",
+    "longest_common_prefix",
+    "make_policy",
+]

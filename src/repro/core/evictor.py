@@ -1,0 +1,118 @@
+"""LRU eviction with the paper's two-key priority.
+
+Jenga's eviction order (Section 5.1) is driven by two values that layer
+policies assign to every page:
+
+1. ``last_access`` -- coarse-grained.  Pages with the *earliest* last access
+   are evicted first.  Policies keep these timestamps identical for tokens of
+   the same request across layer types, which makes eviction **balanced**.
+2. ``prefix_length`` -- fine-grained tiebreak among pages sharing a
+   timestamp.  The page with the *largest* prefix length is evicted first
+   (deep suffix tokens go before shallow prefix tokens), and policies assign
+   the same value to the corresponding token across layer types, which makes
+   eviction **aligned**.
+
+:class:`LRUEvictor` is a priority queue over ``(last_access,
+-prefix_length)`` implemented as a lazy-deletion binary heap: updates push a
+new entry and stale entries are skipped on pop.  All operations are amortized
+``O(log n)``; this matters because the engine touches evictor state for every
+block of every scheduled request on every step.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["LRUEvictor"]
+
+_Key = Tuple[float, float, int]
+
+
+class LRUEvictor:
+    """Priority queue of evictable items keyed by (last_access, -prefix_length).
+
+    Items are arbitrary hashable ids (small-page ids for the customized
+    evictors; large-page ids for the LCM page table's evictor).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[_Key, Hashable]] = []
+        self._priority: Dict[Hashable, _Key] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._priority
+
+    def add(self, item: Hashable, last_access: float, prefix_length: float = 0.0) -> None:
+        """Insert ``item`` or update its priority if already present."""
+        key = (last_access, -prefix_length, next(self._counter))
+        self._priority[item] = key
+        heapq.heappush(self._heap, (key, item))
+
+    def remove(self, item: Hashable) -> None:
+        """Remove ``item`` (e.g. a cache hit revived the page).
+
+        Raises :class:`KeyError` if absent, because silently ignoring a
+        missing page would hide ref-counting bugs upstream.
+        """
+        del self._priority[item]
+
+    def discard(self, item: Hashable) -> bool:
+        """Remove ``item`` if present; return whether it was present."""
+        return self._priority.pop(item, None) is not None
+
+    def peek(self) -> Optional[Hashable]:
+        """Return the next eviction victim without removing it."""
+        self._compact()
+        if not self._heap:
+            return None
+        return self._heap[0][1]
+
+    def evict(self) -> Hashable:
+        """Pop and return the item with the earliest last access.
+
+        Ties on ``last_access`` break toward the largest ``prefix_length``
+        (aligned eviction).  Raises :class:`KeyError` when empty.
+        """
+        self._compact()
+        if not self._heap:
+            raise KeyError("evictor is empty")
+        key, item = heapq.heappop(self._heap)
+        del self._priority[item]
+        return item
+
+    def priority_of(self, item: Hashable) -> Tuple[float, float]:
+        """Return ``(last_access, prefix_length)`` currently recorded for ``item``."""
+        key = self._priority[item]
+        return (key[0], -key[1])
+
+    def items_in_order(self) -> List[Hashable]:
+        """All items in eviction order (cheapest victim first).
+
+        Intended for tests and the fragmentation benchmark's introspection;
+        costs ``O(n log n)``.
+        """
+        self._compact()
+        live = [(key, item) for key, item in self._heap if self._priority.get(item) == key]
+        live.sort()
+        seen = set()
+        ordered = []
+        for _, item in live:
+            if item not in seen:
+                seen.add(item)
+                ordered.append(item)
+        return ordered
+
+    def _compact(self) -> None:
+        """Drop stale heap entries left behind by updates and removals."""
+        heap = self._heap
+        while heap:
+            key, item = heap[0]
+            if self._priority.get(item) == key:
+                return
+            heapq.heappop(heap)

@@ -1,0 +1,137 @@
+"""Host-memory KV offloading (the Section 8 extension).
+
+The paper notes that Jenga naturally extends KV-offloading systems
+(CachedAttention, Mooncake): large pages give a fixed offload granularity
+and the prefix-subset evictor supplies the offload *order*.  This module
+implements that extension:
+
+* when the two-level allocator reclaims an evictable page that carries a
+  cached block, the block's contents are copied into a bounded
+  :class:`HostMemoryPool` instead of being lost;
+* a later request whose prefix misses GPU cache but hits the host pool can
+  *onload* those blocks over PCIe instead of recomputing them -- the
+  engine charges transfer time (bytes / PCIe bandwidth) in place of
+  prefill compute, which is profitable whenever
+  ``bytes/pcie_bw < recompute_flops/gpu_flops``.
+
+The pool is itself LRU-managed and content-addressed by the same chained
+block hashes the GPU cache uses, so GPU cache, host pool, and recompute
+form a clean three-level hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .evictor import LRUEvictor
+
+__all__ = ["HostMemoryPool", "OffloadConfig", "OffloadStats"]
+
+
+@dataclass(frozen=True)
+class OffloadConfig:
+    """Host-offload tier parameters.
+
+    Attributes:
+        capacity_bytes: Host memory dedicated to offloaded KV.
+        pcie_bandwidth: Host-device transfer bandwidth in bytes/s (PCIe
+            4.0 x16 is ~25 GB/s effective).
+    """
+
+    capacity_bytes: int
+    pcie_bandwidth: float = 25e9
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("offload capacity must be positive")
+        if self.pcie_bandwidth <= 0:
+            raise ValueError("PCIe bandwidth must be positive")
+
+
+@dataclass
+class OffloadStats:
+    """Cumulative offload-tier accounting."""
+
+    offloaded_blocks: int = 0
+    offloaded_bytes: int = 0
+    onloaded_blocks: int = 0
+    onloaded_bytes: int = 0
+    host_evictions: int = 0
+
+
+class HostMemoryPool:
+    """Bounded, LRU-managed, content-addressed pool of offloaded blocks.
+
+    Entries are keyed by the block's chain hash; each entry records the
+    owning group and its byte size.  The pool never stores a hash twice.
+    """
+
+    def __init__(self, config: OffloadConfig) -> None:
+        self.config = config
+        self._entries: Dict[int, Tuple[str, int]] = {}
+        self._lru = LRUEvictor()
+        self._clock = 0
+        self.used_bytes = 0
+        self.stats = OffloadStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block_hash: int) -> bool:
+        return block_hash in self._entries
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # ------------------------------------------------------------------
+
+    def offload(self, block_hash: int, group_id: str, size_bytes: int) -> bool:
+        """Store a block being evicted from GPU memory.
+
+        Oversized blocks (larger than the whole pool) are rejected; space
+        is made by evicting host-LRU entries.  Returns whether the block
+        was stored.
+        """
+        if size_bytes > self.config.capacity_bytes:
+            return False
+        if block_hash in self._entries:
+            self._lru.add(block_hash, float(self._tick()))
+            return True
+        while self.used_bytes + size_bytes > self.config.capacity_bytes:
+            victim = self._lru.evict()
+            _, victim_size = self._entries.pop(victim)
+            self.used_bytes -= victim_size
+            self.stats.host_evictions += 1
+        self._entries[block_hash] = (group_id, size_bytes)
+        self._lru.add(block_hash, float(self._tick()))
+        self.used_bytes += size_bytes
+        self.stats.offloaded_blocks += 1
+        self.stats.offloaded_bytes += size_bytes
+        return True
+
+    def probe(self, block_hash: int) -> Optional[Tuple[str, int]]:
+        """Check presence without touching LRU order."""
+        return self._entries.get(block_hash)
+
+    def onload(self, block_hash: int) -> Optional[int]:
+        """Fetch a block back to the GPU; returns its size in bytes.
+
+        The entry *stays* in the pool (host copies are cheap to keep; a
+        subsequent GPU eviction of the same block is then a no-op write).
+        """
+        entry = self._entries.get(block_hash)
+        if entry is None:
+            return None
+        self._lru.add(block_hash, float(self._tick()))
+        self.stats.onloaded_blocks += 1
+        self.stats.onloaded_bytes += entry[1]
+        return entry[1]
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` across PCIe."""
+        return num_bytes / self.config.pcie_bandwidth
+
+    def utilization(self) -> float:
+        return self.used_bytes / self.config.capacity_bytes

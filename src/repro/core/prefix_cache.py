@@ -1,0 +1,174 @@
+"""Prefix-cache bookkeeping: content hashing and the model-wide hit rule.
+
+Prefix caching identifies reusable KV by *content*: each cacheable block's
+hash chains the hash of its predecessor with the token ids it covers, so a
+block hash uniquely identifies an entire prefix (the scheme vLLM uses).
+Every layer-type group keeps its own ``hash -> page`` index because groups
+store different streams at different granularities.
+
+The model-wide hit (Section 5.2) is the longest *global* prefix that every
+group can serve from cache.  Each policy reports its valid *stream*-prefix
+lengths via ``get_possible_prefix``; :func:`longest_common_prefix` lifts
+those to global token counts (a group only constrains the tokens it stores)
+and intersects across groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+from .sequence import SequenceSpec, TokenTag
+
+__all__ = [
+    "chain_hashes",
+    "CachedBlockIndex",
+    "longest_common_prefix",
+]
+
+_HASH_SEED = 0x9E3779B97F4A7C15
+
+
+def chain_hashes(token_ids: Sequence[int], boundaries: Sequence[int]) -> List[int]:
+    """Chained content hashes of the prefixes ending at ``boundaries``.
+
+    ``boundaries`` must be increasing positive token counts not exceeding
+    ``len(token_ids)``.  The hash at boundary ``b`` covers tokens
+    ``[0, b)`` -- equal prefixes always produce equal hashes, and the
+    chaining makes a block hash identify its whole ancestry, never just the
+    block's own tokens.
+    """
+    hashes: List[int] = []
+    state = _HASH_SEED
+    pos = 0
+    for boundary in boundaries:
+        if boundary <= pos:
+            raise ValueError(f"boundaries must be increasing, got {list(boundaries)}")
+        if boundary > len(token_ids):
+            raise ValueError(
+                f"boundary {boundary} beyond stream of {len(token_ids)} tokens"
+            )
+        state = hash((state, tuple(token_ids[pos:boundary])))
+        hashes.append(state)
+        pos = boundary
+    return hashes
+
+
+class CachedBlockIndex:
+    """Per-group map from block hash to the evictable page holding it."""
+
+    def __init__(self) -> None:
+        self._by_hash: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, block_hash: int) -> bool:
+        return block_hash in self._by_hash
+
+    def insert(self, block_hash: int, page_id: int) -> Optional[int]:
+        """Register a cached block; returns a displaced duplicate page id.
+
+        Two requests with identical prefixes can both deposit the same
+        block; the newer page wins and the caller frees the older one.
+        """
+        old = self._by_hash.get(block_hash)
+        if old == page_id:
+            return None
+        self._by_hash[block_hash] = page_id
+        return old
+
+    def lookup(self, block_hash: int) -> Optional[int]:
+        page_id = self._by_hash.get(block_hash)
+        if page_id is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return page_id
+
+    def probe(self, block_hash: int) -> Optional[int]:
+        """Like :meth:`lookup` but without touching hit/miss counters."""
+        return self._by_hash.get(block_hash)
+
+    def remove(self, block_hash: int, page_id: Optional[int] = None) -> None:
+        """Drop a cached block (its page was evicted or reused).
+
+        ``page_id`` guards against removing a newer mapping that replaced
+        the caller's page.
+        """
+        current = self._by_hash.get(block_hash)
+        if current is None:
+            return
+        if page_id is not None and current != page_id:
+            return
+        del self._by_hash[block_hash]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def longest_common_prefix(
+    seq: SequenceSpec,
+    valid_stream_prefixes: Mapping[str, Iterable[int]],
+    accepted_tags: Mapping[str, FrozenSet[TokenTag]],
+    max_global: Optional[int] = None,
+) -> int:
+    """Longest global prefix every group can serve from cache.
+
+    Args:
+        seq: The request's token sequence.
+        valid_stream_prefixes: For each group id, the stream-prefix lengths
+            that group's ``get_possible_prefix`` declared valid (0 is
+            implicitly valid everywhere).
+        accepted_tags: Each group's accepted token tags, to map stream
+            lengths to global positions.
+        max_global: Cap on the returned prefix.  Serving engines cap at
+            ``len(seq) - 1`` so at least one token is always computed.
+
+    A global prefix ``P`` is valid for group ``g`` iff the number of
+    ``g``-stream tokens within the first ``P`` global tokens is one of
+    ``g``'s valid stream prefixes.  The answer is the largest ``P`` valid
+    for all groups.  Candidates are the maximal global positions realising
+    each valid stream length, so the search is linear in the number of
+    valid prefixes rather than in sequence length.
+    """
+    cap = len(seq) if max_global is None else min(max_global, len(seq))
+    if cap <= 0:
+        return 0
+
+    valid_sets: Dict[str, set] = {}
+    for group_id, prefixes in valid_stream_prefixes.items():
+        s = set(prefixes)
+        s.add(0)
+        valid_sets[group_id] = s
+
+    candidates = {cap}
+    for group_id, prefixes in valid_sets.items():
+        tags = accepted_tags[group_id]
+        stream_total = seq.stream_length(tags)
+        for v in prefixes:
+            if v > stream_total:
+                continue
+            # The largest global P whose g-stream count is exactly v is just
+            # before the (v+1)-th g-token, or the end of the sequence.
+            if v == stream_total:
+                upper = len(seq)
+            else:
+                upper = seq.global_prefix_for_stream(tags, v + 1) - 1
+            candidates.add(min(upper, cap))
+
+    for p in sorted(candidates, reverse=True):
+        if p <= 0:
+            break
+        ok = True
+        for group_id, valid in valid_sets.items():
+            stream_len = seq.stream_length(accepted_tags[group_id], p)
+            if stream_len not in valid:
+                ok = False
+                break
+        if ok:
+            return p
+    return 0

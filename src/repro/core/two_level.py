@@ -1,0 +1,604 @@
+"""The two-level (LCM + customized) allocator with coordinated eviction.
+
+This module implements the mechanism half of Jenga:
+
+* :class:`GroupAllocator` -- one per layer-type group; carves large pages
+  into that group's small pages, keeps per-request free pools
+  (request-aware allocation, Section 4.3), a per-group LRU evictor, and the
+  group's cached-block index.
+* :class:`TwoLevelAllocator` -- owns the :class:`LCMAllocator`, all group
+  allocators, and the *prefix-subset evictor* state: per-large-page
+  empty/used/evictable counts, and the LRU of fully-evictable large pages
+  whose timestamp is the latest last-access of its small pages.
+
+The five-step allocation algorithm (Section 5.4):
+
+1. allocate a request-associated empty small page of the needed type;
+2. else carve a fresh large page from the LCM allocator and associate all
+   its small pages with the request;
+3. else evict the least-recently-used fully-evictable *large* page --
+   possibly owned by a different layer type -- and carve it;
+4. else allocate any empty small page of the needed type regardless of its
+   request association;
+5. else evict the least-recently-used evictable *small* page of the needed
+   type and reuse it in place.
+
+If all five steps fail the pool is genuinely full of used pages and the
+caller (the KV manager / scheduler) must preempt a request.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .evictor import LRUEvictor
+from .layer_policy import GroupSpec, LayerTypePolicy
+from .lcm_allocator import LCMAllocator
+from .pages import PageState, PhysicalExtent, SmallPage
+from .prefix_cache import CachedBlockIndex
+
+__all__ = ["GroupAllocator", "TwoLevelAllocator", "AllocatorStats"]
+
+
+@dataclass
+class AllocatorStats:
+    """Point-in-time memory accounting (consumed by Figure 16's benchmark).
+
+    All byte figures refer to the KV-cache region only.
+    """
+
+    total_bytes: int
+    free_bytes: int
+    used_bytes_by_group: Dict[str, int]
+    evictable_bytes_by_group: Dict[str, int]
+    internal_frag_bytes: int
+    partial_fill_bytes: int
+    slack_bytes: int
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self.used_bytes_by_group.values())
+
+    @property
+    def evictable_bytes(self) -> int:
+        return sum(self.evictable_bytes_by_group.values())
+
+    @property
+    def waste_bytes(self) -> int:
+        """Allocated bytes storing nothing useful right now."""
+        return self.internal_frag_bytes + self.partial_fill_bytes + self.slack_bytes
+
+
+class GroupAllocator:
+    """Small-page allocator customized for one layer-type group."""
+
+    def __init__(self, spec: GroupSpec, policy: LayerTypePolicy, small_per_large: int) -> None:
+        self.spec = spec
+        self.policy = policy
+        self.small_per_large = small_per_large
+        self.pages: Dict[int, SmallPage] = {}
+        self._next_page_id = 0
+        # EMPTY pages carved into this group, grouped by request association.
+        self._free_by_request: Dict[Optional[str], List[int]] = defaultdict(list)
+        self.num_free = 0
+        self.evictor = LRUEvictor()
+        self.cache_index = CachedBlockIndex()
+        # Pages evicted cumulatively (for benchmark introspection).
+        self.num_evictions = 0
+        # Running state counters so stats() is O(groups), not O(pages).
+        self.n_used = 0
+        self.n_evictable = 0
+        self.n_empty_carved = 0
+        # Sum of num_tokens over USED pages (for partial-fill accounting);
+        # maintained by the KV manager through note_fill().
+        self.used_filled_tokens = 0
+
+    def note_fill(self, delta_tokens: int) -> None:
+        """Record a change in filled token slots of USED pages."""
+        self.used_filled_tokens += delta_tokens
+
+    # -- free-pool bookkeeping -----------------------------------------
+
+    def push_free(self, page: SmallPage) -> None:
+        self._free_by_request[page.request_id].append(page.page_id)
+        self.num_free += 1
+
+    def pop_free(self, request_id: Optional[str]) -> Optional[SmallPage]:
+        """Pop an empty page associated with ``request_id`` (step 1)."""
+        bucket = self._free_by_request.get(request_id)
+        while bucket:
+            page_id = bucket.pop()
+            page = self.pages.get(page_id)
+            if page is not None and page.is_empty and page.request_id == request_id:
+                self.num_free -= 1
+                return page
+        return None
+
+    def pop_free_any(self) -> Optional[SmallPage]:
+        """Pop any empty page regardless of association (step 4)."""
+        for request_id in list(self._free_by_request):
+            bucket = self._free_by_request[request_id]
+            while bucket:
+                page_id = bucket.pop()
+                page = self.pages.get(page_id)
+                if page is not None and page.is_empty:
+                    self.num_free -= 1
+                    return page
+            del self._free_by_request[request_id]
+        return None
+
+    def new_page(self, large_page_id: int, slot: int, request_id: Optional[str]) -> SmallPage:
+        page = SmallPage(
+            page_id=self._next_page_id,
+            group_id=self.spec.group_id,
+            large_page_id=large_page_id,
+            slot=slot,
+            request_id=request_id,
+        )
+        self._next_page_id += 1
+        self.pages[page.page_id] = page
+        self.n_empty_carved += 1
+        return page
+
+    def destroy_page(self, page: SmallPage) -> None:
+        """Forget a page whose large page returns to the LCM pool."""
+        if self.pages.pop(page.page_id, None) is not None:
+            self.n_empty_carved -= 1
+
+
+class TwoLevelAllocator:
+    """LCM allocator + group allocators + prefix-subset evictor."""
+
+    def __init__(
+        self,
+        total_bytes: int,
+        specs: Dict[str, GroupSpec],
+        policies: Dict[str, LayerTypePolicy],
+        strategy: str = "lcm",
+        enable_prefix_caching: bool = True,
+        request_aware: bool = True,
+    ) -> None:
+        if set(specs) != set(policies):
+            raise ValueError("specs and policies must cover the same groups")
+        self.enable_prefix_caching = enable_prefix_caching
+        # Section 4.3 ablation: with request_aware=False, allocation takes
+        # any empty small page first (the naive interleaving of Figure 8a)
+        # instead of preferring the request's own large pages.
+        self.request_aware = request_aware
+        self.lcm = LCMAllocator(
+            total_bytes, {g: s.page_bytes for g, s in specs.items()}, strategy=strategy
+        )
+        self.groups: Dict[str, GroupAllocator] = {
+            g: GroupAllocator(specs[g], policies[g], self.lcm.small_pages_per_large(g))
+            for g in specs
+        }
+        # Per-large-page state counts: [empty, used, evictable].
+        self._large_counts: Dict[int, List[int]] = {}
+        self.large_evictor = LRUEvictor()
+        self.num_large_evictions = 0
+        # Optional hook fired when a *cached* (hashed) page is reclaimed:
+        # (group_id, block_hash, page_bytes).  The KV manager uses it to
+        # spill evicted blocks to a host-memory offload tier (Section 8).
+        self.eviction_listener = None
+
+    # ------------------------------------------------------------------
+    # The five-step allocation algorithm
+    # ------------------------------------------------------------------
+
+    def allocate_page(self, group_id: str, request_id: str) -> Optional[SmallPage]:
+        """Allocate one small page of ``group_id`` for ``request_id``.
+
+        Returns ``None`` when every step fails (all memory pinned by running
+        requests); the caller must preempt.
+        """
+        group = self.groups[group_id]
+
+        if not self.request_aware:
+            # Ablation mode: naive first-fit over any empty small page.
+            page = group.pop_free_any()
+            if page is not None:
+                return self._activate(group, page, request_id)
+
+        # Step 1: request-associated empty small page.
+        page = group.pop_free(request_id)
+        if page is not None:
+            return self._activate(group, page, request_id)
+
+        # Step 2: carve a fresh large page.
+        if self.lcm.has_free():
+            page = self._carve_and_take(group, request_id)
+            return self._activate(group, page, request_id)
+
+        # Step 3: evict a fully-evictable large page (any group's).
+        if len(self.large_evictor):
+            victim_id = self.large_evictor.evict()
+            self._evict_large_page(victim_id)
+            self.num_large_evictions += 1
+            page = self._carve_and_take(group, request_id)
+            return self._activate(group, page, request_id)
+
+        # Step 4: any empty small page of this group.
+        page = group.pop_free_any()
+        if page is not None:
+            return self._activate(group, page, request_id)
+
+        # Step 5: evict an evictable small page of this group.
+        if len(group.evictor):
+            victim = group.pages[group.evictor.evict()]
+            self._reclaim_evictable(group, victim)
+            group.num_evictions += 1
+            return self._activate(group, victim, request_id)
+
+        return None
+
+    def _carve_and_take(self, group: GroupAllocator, request_id: str) -> SmallPage:
+        large = self.lcm.allocate(group.spec.group_id)
+        self._large_counts[large.page_id] = [group.small_per_large, 0, 0]
+        first: Optional[SmallPage] = None
+        for slot in range(group.small_per_large):
+            page = group.new_page(large.page_id, slot, request_id)
+            large.small_page_ids.append(page.page_id)
+            if slot == 0:
+                first = page
+            else:
+                group.push_free(page)
+        assert first is not None
+        return first
+
+    def _activate(self, group: GroupAllocator, page: SmallPage, request_id: str) -> SmallPage:
+        """Transition an EMPTY page to USED for ``request_id``."""
+        assert page.is_empty, f"activating non-empty page {page.page_id}"
+        self._bump(page, PageState.EMPTY, PageState.USED)
+        page.state = PageState.USED
+        page.request_id = request_id
+        page.ref_count = 1
+        page.block_hash = None
+        page.num_tokens = 0
+        page.prefix_length = 0.0
+        return page
+
+    # ------------------------------------------------------------------
+    # Release / prefix-cache transitions
+    # ------------------------------------------------------------------
+
+    def release_page(self, group_id: str, page_id: int, cacheable: bool = True) -> None:
+        """Drop one reference; the last reference frees or caches the page."""
+        group = self.groups[group_id]
+        page = group.pages[page_id]
+        if not page.is_used or page.ref_count <= 0:
+            raise ValueError(
+                f"releasing page {page_id} of group {group_id} in state {page.state}"
+            )
+        page.ref_count -= 1
+        if page.ref_count > 0:
+            return
+        if cacheable and self.enable_prefix_caching and page.block_hash is not None:
+            group.note_fill(-page.num_tokens)
+            self._bump(page, PageState.USED, PageState.EVICTABLE)
+            page.state = PageState.EVICTABLE
+            group.evictor.add(page.page_id, page.last_access, page.prefix_length)
+        else:
+            self._free_page(group, page)
+
+    def acquire_cached(
+        self, group_id: str, block_hash: int, request_id: str
+    ) -> Optional[SmallPage]:
+        """Take a reference on the cached block ``block_hash`` (cache hit)."""
+        group = self.groups[group_id]
+        page_id = group.cache_index.lookup(block_hash)
+        if page_id is None:
+            return None
+        page = group.pages.get(page_id)
+        if page is None or page.block_hash != block_hash:
+            # Stale index entry (page was reclaimed); treat as miss.
+            group.cache_index.remove(block_hash, page_id)
+            return None
+        if page.is_evictable:
+            group.evictor.remove(page.page_id)
+            self._bump(page, PageState.EVICTABLE, PageState.USED)
+            page.state = PageState.USED
+            group.note_fill(page.num_tokens)
+        page.ref_count += 1
+        page.request_id = request_id
+        return page
+
+    def register_block_hash(self, group_id: str, page: SmallPage, block_hash: int) -> None:
+        """Publish a completed block into the group's cache index."""
+        if not self.enable_prefix_caching:
+            return
+        group = self.groups[group_id]
+        page.block_hash = block_hash
+        displaced = group.cache_index.insert(block_hash, page.page_id)
+        if displaced is not None:
+            old = group.pages.get(displaced)
+            if old is not None and old.block_hash == block_hash:
+                old.block_hash = None
+                if old.is_evictable:
+                    group.evictor.discard(old.page_id)
+                    self._free_page(group, old)
+
+    def touch_evictable(self, group_id: str, page: SmallPage) -> None:
+        """Re-key an evictable page after its eviction metadata changed."""
+        group = self.groups[group_id]
+        if page.is_evictable and page.page_id in group.evictor:
+            group.evictor.add(page.page_id, page.last_access, page.prefix_length)
+            self._refresh_large_priority(page.large_page_id)
+
+    # ------------------------------------------------------------------
+    # Internal state machinery
+    # ------------------------------------------------------------------
+
+    def _free_page(self, group: GroupAllocator, page: SmallPage) -> None:
+        """EVICTABLE/USED(ref 0) -> EMPTY, returning empty large pages."""
+        if page.block_hash is not None:
+            group.cache_index.remove(page.block_hash, page.page_id)
+        old_state = page.state
+        if old_state is PageState.USED:
+            group.note_fill(-page.num_tokens)
+        request_id = page.request_id
+        page.reset()
+        page.request_id = request_id  # keep the association for step 1
+        self._bump(page, old_state, PageState.EMPTY)
+        large_id = page.large_page_id
+        counts = self._large_counts.get(large_id)
+        if counts is not None and counts[0] == self._total_slots(large_id):
+            self._return_large_page(large_id)
+        else:
+            group.push_free(page)
+
+    def _reclaim_evictable(self, group: GroupAllocator, page: SmallPage) -> None:
+        """Strip cached content from an evicted page, leaving it EMPTY."""
+        assert page.is_evictable
+        if page.block_hash is not None:
+            if self.eviction_listener is not None:
+                self.eviction_listener(
+                    group.spec.group_id, page.block_hash, group.spec.page_bytes
+                )
+            group.cache_index.remove(page.block_hash, page.page_id)
+        request_id = page.request_id
+        page.reset()
+        page.request_id = request_id
+        self._bump(page, PageState.EVICTABLE, PageState.EMPTY)
+        # Not pushed to the free pool: the caller activates it immediately.
+
+    def _evict_large_page(self, large_id: int) -> None:
+        """Evict every (evictable) small page of ``large_id`` and free it."""
+        large = self.lcm.page(large_id)
+        group = self.groups[large.owner_group]
+        for small_id in list(large.small_page_ids):
+            page = group.pages.get(small_id)
+            if page is None:
+                continue
+            if page.is_used:
+                raise RuntimeError(
+                    f"large page {large_id} evicted while small page {small_id} is USED"
+                )
+            if page.is_evictable:
+                group.evictor.discard(page.page_id)
+                if page.block_hash is not None:
+                    if self.eviction_listener is not None:
+                        self.eviction_listener(
+                            group.spec.group_id, page.block_hash,
+                            group.spec.page_bytes,
+                        )
+                    group.cache_index.remove(page.block_hash, page.page_id)
+                group.num_evictions += 1
+                group.n_evictable -= 1
+                group.n_empty_carved += 1
+            page.reset()
+        self._return_large_page(large_id, already_reset=True)
+
+    def _return_large_page(self, large_id: int, already_reset: bool = False) -> None:
+        large = self.lcm.page(large_id)
+        group = self.groups[large.owner_group]
+        for small_id in large.small_page_ids:
+            page = group.pages.get(small_id)
+            if page is None:
+                continue
+            if not already_reset and not page.is_empty:
+                raise RuntimeError(
+                    f"returning large page {large_id} with non-empty small page {small_id}"
+                )
+            group.destroy_page(page)
+        # Empty pages of this large page may still sit in the free pools;
+        # pop_free skips destroyed ids, so stale entries are harmless, but
+        # the free counter must stay exact.
+        removed = self._purge_free_entries(group, set(large.small_page_ids))
+        group.num_free -= removed
+        del self._large_counts[large_id]
+        self.large_evictor.discard(large_id)
+        self.lcm.free(large_id)
+
+    @staticmethod
+    def _purge_free_entries(group: GroupAllocator, dead_ids: Set[int]) -> int:
+        removed = 0
+        for request_id in list(group._free_by_request):
+            bucket = group._free_by_request[request_id]
+            kept = [pid for pid in bucket if pid not in dead_ids]
+            removed += len(bucket) - len(kept)
+            if kept:
+                group._free_by_request[request_id] = kept
+            else:
+                del group._free_by_request[request_id]
+        return removed
+
+    def _total_slots(self, large_id: int) -> int:
+        owner = self.lcm.owner_of(large_id)
+        return self.groups[owner].small_per_large if owner else 0
+
+    _STATE_IDX = {PageState.EMPTY: 0, PageState.USED: 1, PageState.EVICTABLE: 2}
+
+    def _bump(self, page: SmallPage, old: PageState, new: PageState) -> None:
+        """Maintain per-large-page and per-group state counters."""
+        group = self.groups[page.group_id]
+        for state, delta in ((old, -1), (new, +1)):
+            if state is PageState.EMPTY:
+                group.n_empty_carved += delta
+            elif state is PageState.USED:
+                group.n_used += delta
+            else:
+                group.n_evictable += delta
+        counts = self._large_counts.get(page.large_page_id)
+        if counts is None:
+            return
+        counts[self._STATE_IDX[old]] -= 1
+        counts[self._STATE_IDX[new]] += 1
+        self._refresh_large_priority(page.large_page_id)
+
+    def _refresh_large_priority(self, large_id: Optional[int]) -> None:
+        if large_id is None:
+            return
+        counts = self._large_counts.get(large_id)
+        if counts is None:
+            return
+        total = self._total_slots(large_id)
+        if counts[2] == total and total > 0:
+            # Fully evictable: (re)insert with the latest small-page access.
+            large = self.lcm.page(large_id)
+            group = self.groups[large.owner_group]
+            last = max(
+                (group.pages[s].last_access for s in large.small_page_ids if s in group.pages),
+                default=-1.0,
+            )
+            prefix = max(
+                (group.pages[s].prefix_length for s in large.small_page_ids if s in group.pages),
+                default=0.0,
+            )
+            self.large_evictor.add(large_id, last, prefix)
+        else:
+            self.large_evictor.discard(large_id)
+
+    # ------------------------------------------------------------------
+    # Capacity probes and accounting
+    # ------------------------------------------------------------------
+
+    def reclaimable_pages(self, group_id: str) -> int:
+        """Upper bound on small pages of ``group_id`` obtainable right now.
+
+        Counts the group's empty pages, empty large pages, fully-evictable
+        large pages (all reusable by any group), and the group's own
+        evictable pages.  Used by the scheduler for admission control; the
+        bound is optimistic only across *multiple* groups competing for the
+        same large pages, which admission handles by re-checking per step.
+        """
+        group = self.groups[group_id]
+        spl = group.small_per_large
+        return (
+            group.num_free
+            + (self.lcm.num_free + len(self.large_evictor)) * spl
+            + len(group.evictor)
+        )
+
+    def stats(self) -> AllocatorStats:
+        """O(#groups) point-in-time accounting from running counters."""
+        used: Dict[str, int] = {}
+        evictable: Dict[str, int] = {}
+        frag = 0
+        partial = 0
+        for group_id, group in self.groups.items():
+            page_bytes = group.spec.page_bytes
+            used[group_id] = group.n_used * page_bytes
+            evictable[group_id] = group.n_evictable * page_bytes
+            frag += group.n_empty_carved * page_bytes
+            if group.spec.kind != "mamba":
+                filled = group.used_filled_tokens * group.spec.per_token_bytes
+                partial += max(0, used[group_id] - filled)
+        free_bytes = self.lcm.num_free * self.lcm.large_page_bytes
+        return AllocatorStats(
+            total_bytes=self.lcm.total_bytes,
+            free_bytes=free_bytes,
+            used_bytes_by_group=used,
+            evictable_bytes_by_group=evictable,
+            internal_frag_bytes=frag,
+            partial_fill_bytes=partial,
+            slack_bytes=self.lcm.slack_bytes,
+        )
+
+    def stats_slow(self) -> AllocatorStats:
+        """Page-scan accounting; cross-validates :meth:`stats` in tests."""
+        used: Dict[str, int] = {}
+        evictable: Dict[str, int] = {}
+        frag = 0
+        partial = 0
+        for group_id, group in self.groups.items():
+            page_bytes = group.spec.page_bytes
+            u = e = 0
+            for page in group.pages.values():
+                if page.is_used:
+                    u += page_bytes
+                    if group.spec.kind != "mamba":
+                        filled = page.num_tokens * group.spec.per_token_bytes
+                        partial += max(0, page_bytes - filled)
+                elif page.is_evictable:
+                    e += page_bytes
+                else:
+                    frag += page_bytes
+            used[group_id] = u
+            evictable[group_id] = e
+        free_bytes = self.lcm.num_free * self.lcm.large_page_bytes
+        return AllocatorStats(
+            total_bytes=self.lcm.total_bytes,
+            free_bytes=free_bytes,
+            used_bytes_by_group=used,
+            evictable_bytes_by_group=evictable,
+            internal_frag_bytes=frag,
+            partial_fill_bytes=partial,
+            slack_bytes=self.lcm.slack_bytes,
+        )
+
+    def extent_of(self, group_id: str, page: SmallPage) -> PhysicalExtent:
+        """Physical placement of a small page (page-layer partition, §4.2)."""
+        base = self.lcm.extent_of(page.large_page_id)
+        size = self.groups[group_id].spec.page_bytes
+        return PhysicalExtent(base.start + page.slot * size, size)
+
+    def check_no_physical_overlap(self) -> None:
+        """Memory-safety check: no two live small pages share bytes.
+
+        Section 4.2's page-layer partition promises every small page a
+        contiguous, exclusive byte range inside its large page; kernels
+        address memory through ``(start_ptr, page_size, page_id)`` with no
+        further checks, so an overlap here would be silent corruption on
+        real hardware.  O(pages log pages); used by the property tests.
+        """
+        extents = []
+        for group_id, group in self.groups.items():
+            for page in group.pages.values():
+                extent = self.extent_of(group_id, page)
+                assert extent.end <= self.lcm.total_bytes, (
+                    f"page {group_id}/{page.page_id} extends past the region"
+                )
+                extents.append((extent.start, extent.end, group_id, page.page_id))
+        extents.sort()
+        for (s1, e1, g1, p1), (s2, e2, g2, p2) in zip(extents, extents[1:]):
+            assert e1 <= s2, (
+                f"pages {g1}/{p1} [{s1},{e1}) and {g2}/{p2} [{s2},{e2}) overlap"
+            )
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency; used by property-based tests."""
+        for group_id, group in self.groups.items():
+            for page in group.pages.values():
+                large = self.lcm.page(page.large_page_id)
+                assert large.owner_group == group_id, (
+                    f"page {page.page_id} of {group_id} sits in large page "
+                    f"{large.page_id} owned by {large.owner_group}"
+                )
+                if page.is_evictable:
+                    assert page.page_id in group.evictor
+                if page.is_used:
+                    assert page.ref_count > 0
+        for large_id, counts in self._large_counts.items():
+            total = self._total_slots(large_id)
+            assert sum(counts) == total, (large_id, counts, total)
+            large = self.lcm.page(large_id)
+            group = self.groups[large.owner_group]
+            actual = [0, 0, 0]
+            for sid in large.small_page_ids:
+                page = group.pages.get(sid)
+                if page is None:
+                    continue
+                actual[{PageState.EMPTY: 0, PageState.USED: 1, PageState.EVICTABLE: 2}[page.state]] += 1
+            assert actual == counts, (large_id, actual, counts)

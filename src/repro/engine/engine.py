@@ -1,0 +1,379 @@
+"""The serving-engine simulator: continuous batching over a KV manager.
+
+:class:`LLMEngine` reproduces the control loop shared by vLLM/SGLang/TGI
+(Section 7.1 baselines): admit requests FCFS, spend a per-step token budget
+on decodes then prefill chunks, preempt by recomputation when the memory
+manager cannot allocate, and advance a simulated clock by the analytic cost
+model's step time.  The *only* component swapped between "vLLM" and
+"Jenga" runs is the memory manager, mirroring the paper's methodology
+("we use vLLM v0.6.3 and only change the memory management system").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..engine.cost_model import CostModel, StepWork
+from ..models.config import ModelSpec
+from ..platforms.gpu import GPU
+from .metrics import EngineMetrics, MemorySnapshot, RequestMetrics, StepRecord
+from .request import Request, RequestState
+from .scheduler import SchedulerConfig, WaitingQueue
+
+__all__ = ["LLMEngine"]
+
+
+class LLMEngine:
+    """Step-level simulator of one model served on one GPU.
+
+    Args:
+        model: Architecture being served.
+        gpu: Platform envelope (drives the cost model).
+        manager: KV-cache manager under test -- a
+            :class:`~repro.core.kv_manager.JengaKVCacheManager` or any
+            baseline from :mod:`repro.baselines` (same interface).
+        config: Scheduler knobs.
+        cost_model: Override the default roofline cost model (tests use a
+            unit-cost model for determinism).
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        gpu: GPU,
+        manager,
+        config: Optional[SchedulerConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.model = model
+        self.gpu = gpu
+        self.manager = manager
+        self.config = config or SchedulerConfig()
+        self.cost = cost_model or CostModel(
+            model, gpu, kernel_slowdown=getattr(manager, "kernel_slowdown", 1.0)
+        )
+        self.clock = 0.0
+        self.waiting = WaitingQueue()
+        self.running: List[Request] = []
+        self.finished: List[RequestMetrics] = []
+        self.failed: List[Request] = []
+        self.steps: List[StepRecord] = []
+        self._step_index = 0
+        self._preemptions_total = 0
+        # Back-pressure: after a step that preempted, hold off admitting
+        # new requests for a cooldown window (vLLM's scheduler likewise
+        # stops feeding the waiting queue while preemption is happening) --
+        # otherwise admission and preemption ping-pong and the engine
+        # endlessly re-prefills long prompts.
+        self._admission_cooldown = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def add_request(self, request: Request) -> None:
+        if self.config.output_len_factor != 1.0:
+            request.max_output_tokens = max(
+                1, round(request.max_output_tokens * self.config.output_len_factor)
+            )
+        self.waiting.push(request)
+
+    def add_requests(self, requests: Sequence[Request]) -> None:
+        for request in requests:
+            self.add_request(request)
+
+    def run(self, max_steps: int = 1_000_000) -> EngineMetrics:
+        """Run until all requests finish (or fail); return the metrics."""
+        while (self.waiting or self.running) and self._step_index < max_steps:
+            if self.step() is None:
+                break
+        return self.metrics()
+
+    def metrics(self) -> EngineMetrics:
+        return EngineMetrics(
+            steps=list(self.steps),
+            requests=list(self.finished),
+            prefix_hit_rate=getattr(self.manager, "prefix_hit_rate", 0.0),
+        )
+
+    # ------------------------------------------------------------------
+    # One engine step
+    # ------------------------------------------------------------------
+
+    def step(self) -> Optional[StepRecord]:
+        """Execute one engine step; returns ``None`` when fully idle."""
+        now = self.clock
+        work = StepWork()
+        self._admit(now, work)
+        if not self.running:
+            next_arrival = self.waiting.next_arrival()
+            if next_arrival is None:
+                return None
+            self.clock = now = max(now, next_arrival)
+            work = StepWork()
+            self._admit(now, work)
+            if not self.running:
+                return None
+
+        scheduled: List[Tuple[Request, int]] = []
+        scheduled_set: Set[str] = set()
+        budget = self.config.max_num_batched_tokens
+        decode_batch = 0
+        prefill_tokens = 0
+        step_preemptions = 0
+
+        # Phase 1: single-token decodes (highest priority, vLLM v0.6).
+        for request in list(self.running):
+            if budget <= 0:
+                break
+            if request.state is not RequestState.RUNNING or not self._is_decode(request):
+                # May have been preempted as an eviction victim earlier in
+                # this same loop (we iterate a snapshot of running).
+                continue
+            ok, npre = self._allocate_or_preempt(request, request.total_len, scheduled_set)
+            step_preemptions += npre
+            if not ok:
+                continue
+            scheduled.append((request, 1))
+            scheduled_set.add(request.request_id)
+            decode_batch += 1
+            budget -= 1
+            ctx, read = self.cost.attention_read(request.total_len - 1)
+            work.decode_tokens += 1
+            work.attn_context_tokens += ctx
+            work.kv_read_bytes += read
+            work.kv_write_bytes += self.cost.write_bytes_per_token()
+
+        # Phase 2: prefill chunks.
+        for request in list(self.running):
+            if budget <= 0:
+                break
+            if request.state is not RequestState.RUNNING:
+                continue
+            if self._is_decode(request) or request.request_id in scheduled_set:
+                continue
+            remaining = request.total_len - request.num_computed_tokens
+            if remaining <= 0:
+                continue
+            n = min(budget, remaining)
+            if not self.config.enable_chunked_prefill and n < remaining:
+                continue
+            ok, npre = self._allocate_or_preempt(
+                request, request.num_computed_tokens + n, scheduled_set
+            )
+            step_preemptions += npre
+            if not ok:
+                continue
+            scheduled.append((request, n))
+            scheduled_set.add(request.request_id)
+            budget -= n
+            prefill_tokens += n
+            p0 = request.num_computed_tokens
+            ctx, read = self.cost.attention_read_range(p0, p0 + n)
+            work.prefill_tokens += n
+            work.attn_context_tokens += ctx
+            work.kv_read_bytes += read
+            work.kv_write_bytes += n * self.cost.write_bytes_per_token()
+            self._charge_reencode(request, work)
+
+        duration = self.cost.step_time(work)
+        end = now + duration
+        self.clock = end
+
+        for request, n in scheduled:
+            self._finalize(request, n, end)
+
+        record = StepRecord(
+            index=self._step_index,
+            start_time=now,
+            duration=duration,
+            decode_batch=decode_batch,
+            prefill_tokens=prefill_tokens,
+            num_running=len(self.running),
+            num_waiting=len(self.waiting),
+            num_preemptions=step_preemptions,
+            memory=self._memory_snapshot() if self.config.record_memory else None,
+        )
+        self.steps.append(record)
+        self._step_index += 1
+        self._preemptions_total += step_preemptions
+        if step_preemptions:
+            self._admission_cooldown = self._PREEMPTION_COOLDOWN_STEPS
+        elif self._admission_cooldown:
+            self._admission_cooldown -= 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_decode(request: Request) -> bool:
+        return (
+            request.num_output_tokens > 0
+            and request.num_computed_tokens == request.total_len - 1
+        )
+
+    _PREEMPTION_COOLDOWN_STEPS = 8
+
+    def _admit(self, now: float, work: StepWork) -> None:
+        if self._admission_cooldown > 0 and self.running:
+            return
+        while len(self.running) < self.config.max_num_seqs:
+            request = self.waiting.peek_ready(now)
+            if request is None:
+                break
+            seq = request.seq
+            hit = self.manager.begin_request(seq)
+            if not self.manager.can_admit(
+                seq, self.config.watermark_pages, self.config.max_num_batched_tokens
+            ):
+                self.manager.release(seq, cacheable=True)
+                if not self.running:
+                    # Even an empty GPU cannot host this request: permanent
+                    # failure (the paper's Ministral-on-L4 vLLM case).
+                    self.waiting.pop_ready(now)
+                    request.state = RequestState.FINISHED
+                    self.failed.append(request)
+                    continue
+                break
+            if self.model.vision is not None and seq.image_spans and not request.encoder_done:
+                if self.manager.has_vision_cache:
+                    if not self.manager.allocate_vision(seq):
+                        self.manager.release(seq, cacheable=True)
+                        if not self.running:
+                            self.waiting.pop_ready(now)
+                            request.state = RequestState.FINISHED
+                            self.failed.append(request)
+                            continue
+                        break
+                # The encoder runs once at admission.  Without an embedding
+                # cache it will run *again* on every prefill chunk (see
+                # _charge_reencode), which is Figure 18's baseline.
+                work.images_encoded += len(seq.image_spans)
+                request.encoder_done = True
+            self.waiting.pop_ready(now)
+            # Blocks served from the host offload tier transfer over PCIe
+            # this step instead of being recomputed.
+            take = getattr(self.manager, "take_onload_bytes", None)
+            if take is not None:
+                work.offload_read_bytes += take(seq.request_id)
+            request.num_computed_tokens = hit
+            if request.first_scheduled_time is None:
+                request.first_scheduled_time = now
+                request.cached_prompt_tokens = hit
+            request.state = RequestState.RUNNING
+            self.running.append(request)
+            # Keep running sorted by arrival so scheduling priority (and
+            # victim choice: latest arrival first) is stable across
+            # preempt/readmit cycles; otherwise a readmitted early request
+            # lands at the back and is immediately re-victimized (thrash).
+            self.running.sort(key=lambda r: (r.arrival_time, r.request_id))
+
+    def _charge_reencode(self, request: Request, work: StepWork) -> None:
+        """Vision-encoder rerun cost for engines without an embedding cache."""
+        if self.model.vision is None or not request.seq.image_spans:
+            return
+        if self.manager.has_vision_cache:
+            return
+        if not self.model.vision.cache_embeddings:
+            # mllama-style: encoder output feeds cross-attention KV at the
+            # first chunk; no per-chunk rerun for any engine.
+            return
+        if request.num_computed_tokens < request.prompt_len:
+            work.images_encoded += len(request.seq.image_spans)
+
+    def _allocate_or_preempt(
+        self, request: Request, target: int, scheduled_set: Set[str]
+    ) -> Tuple[bool, int]:
+        """Allocate pages for ``request`` up to ``target`` global tokens.
+
+        On failure, preempt the lowest-priority unscheduled running request
+        and retry; as a last resort preempt ``request`` itself.  Returns
+        ``(success, num_preemptions)``.
+        """
+        preemptions = 0
+        while True:
+            if self.manager.allocate_up_to(request.seq, target):
+                return True, preemptions
+            victim = self._pick_victim(exclude=scheduled_set, not_this=request)
+            if victim is None:
+                if len(self.running) == 1 and self.running[0] is request:
+                    # Alone on the GPU and still failing: the request can
+                    # never fit (the paper's Ministral-on-L4 vLLM failure).
+                    self._fail(request)
+                else:
+                    self._preempt(request)
+                preemptions += 1
+                return False, preemptions
+            self._preempt(victim)
+            preemptions += 1
+
+    def _pick_victim(self, exclude: Set[str], not_this: Request) -> Optional[Request]:
+        for candidate in reversed(self.running):
+            if candidate is not not_this and candidate.request_id not in exclude:
+                return candidate
+        return None
+
+    def _preempt(self, victim: Request) -> None:
+        self.manager.release(victim.seq, cacheable=True)
+        victim.reset_for_recompute()
+        self.running.remove(victim)
+        self.waiting.push(victim)
+
+    def _fail(self, request: Request) -> None:
+        self.manager.release(request.seq, cacheable=False)
+        request.state = RequestState.FINISHED
+        if request in self.running:
+            self.running.remove(request)
+        self.failed.append(request)
+
+    def _finalize(self, request: Request, n: int, end: float) -> None:
+        request.num_computed_tokens += n
+        seq = request.seq
+        phase = "prefill" if request.num_computed_tokens <= request.prompt_len else "decode"
+        self.manager.commit(seq, request.num_computed_tokens, now=end, phase=phase)
+        if (
+            self.model.vision is not None
+            and seq.image_spans
+            and self.manager.has_vision_cache
+        ):
+            self.manager.consume_vision(seq, request.num_computed_tokens)
+        if request.num_computed_tokens < request.total_len:
+            return
+        # A token was generated this step.
+        if request.first_token_time is None:
+            request.first_token_time = end
+        token_id = request.next_generated_token()
+        request.num_output_tokens += 1
+        if request.num_output_tokens >= request.max_output_tokens:
+            self._finish(request, end)
+        else:
+            seq.append(token_id)
+
+    def _finish(self, request: Request, end: float) -> None:
+        request.state = RequestState.FINISHED
+        request.finish_time = end
+        self.manager.release(request.seq, cacheable=True)
+        self.running.remove(request)
+        self.finished.append(
+            RequestMetrics(
+                request_id=request.request_id,
+                arrival_time=request.arrival_time,
+                first_token_time=request.first_token_time or end,
+                finish_time=end,
+                prompt_len=request.prompt_len,
+                output_len=request.num_output_tokens,
+                cached_prompt_tokens=request.cached_prompt_tokens,
+                num_preemptions=request.num_preemptions,
+            )
+        )
+
+    def _memory_snapshot(self) -> MemorySnapshot:
+        stats = self.manager.stats()
+        return MemorySnapshot(
+            used_by_group=dict(stats.used_bytes_by_group),
+            evictable_bytes=stats.evictable_bytes,
+            waste_bytes=stats.waste_bytes,
+            free_bytes=stats.free_bytes,
+        )

@@ -1,0 +1,108 @@
+"""Scheduling configuration and queue policy.
+
+The simulator's scheduler mirrors vLLM v0.6's continuous batching with
+chunked prefill: a per-step token budget is spent first on single-token
+decodes of running requests, then on (chunks of) prompt prefills, then on
+admitting waiting requests.  When allocation fails mid-step, the
+lowest-priority running request is preempted by recomputation.
+
+The paper's Figure 15 compares the decode batch size against SGLang and
+TGI; all three engines use PagedAttention-style memory management, and
+their residual differences are scheduling defaults.  The ``profile``
+presets capture those: SGLang's more aggressive token budget, and TGI's
+lack of ``--ignore-eos`` (its requests generate fewer tokens, the paper's
+explanation for TGI finishing early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from .request import Request
+
+__all__ = ["SchedulerConfig", "PROFILES", "profile_config"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the continuous-batching scheduler.
+
+    Attributes:
+        max_num_seqs: Maximum concurrently running requests.
+        max_num_batched_tokens: Per-step token budget (chunked prefill
+            splits prompts into chunks of at most this size).
+        enable_chunked_prefill: Split long prompts across steps.  When
+            disabled, a prompt is only scheduled when the whole remainder
+            fits the budget.
+        watermark_pages: Free-page margin required at admission, as a
+            buffer against immediate preemption (vLLM's watermark).
+        output_len_factor: Multiplier on requested output lengths (TGI's
+            missing ``--ignore-eos`` support makes it generate fewer
+            tokens; the paper notes this is why TGI finishes earlier).
+        record_memory: Capture a memory snapshot on every step (needed by
+            the Figure 16 benchmark; off by default for speed).
+    """
+
+    max_num_seqs: int = 256
+    max_num_batched_tokens: int = 8192
+    enable_chunked_prefill: bool = True
+    watermark_pages: int = 8
+    output_len_factor: float = 1.0
+    record_memory: bool = False
+
+    def with_(self, **kwargs) -> "SchedulerConfig":
+        return replace(self, **kwargs)
+
+
+PROFILES = {
+    # vLLM v0.6.3 defaults.
+    "vllm": SchedulerConfig(),
+    # SGLang: larger default token budget, otherwise equivalent here.
+    "sglang": SchedulerConfig(max_num_batched_tokens=16384),
+    # TGI: no --ignore-eos, so requests stop early (paper Section 7.3).
+    "tgi": SchedulerConfig(max_num_batched_tokens=8192, output_len_factor=0.6),
+}
+
+
+def profile_config(name: str, **overrides) -> SchedulerConfig:
+    """Scheduler preset by engine name (see module docstring)."""
+    base = PROFILES.get(name)
+    if base is None:
+        raise KeyError(f"unknown scheduler profile {name!r}; have {sorted(PROFILES)}")
+    return base.with_(**overrides) if overrides else base
+
+
+class WaitingQueue:
+    """FCFS waiting queue with arrival-time gating.
+
+    Preempted requests re-enter at the *front* (they have the oldest
+    arrival times, so FCFS order is preserved by sorting on arrival).
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def push(self, request: Request) -> None:
+        self._items.append(request)
+        self._items.sort(key=lambda r: r.arrival_time)
+
+    def peek_ready(self, now: float) -> Optional[Request]:
+        if self._items and self._items[0].arrival_time <= now:
+            return self._items[0]
+        return None
+
+    def pop_ready(self, now: float) -> Optional[Request]:
+        request = self.peek_ready(now)
+        if request is not None:
+            self._items.pop(0)
+        return request
+
+    def next_arrival(self) -> Optional[float]:
+        return self._items[0].arrival_time if self._items else None

@@ -1,0 +1,14 @@
+"""Model architecture metadata (the substrate the allocators operate on)."""
+
+from .config import GIB, LayerSpec, ModelSpec, VisionSpec
+from .zoo import MODEL_BUILDERS, get_model, list_models
+
+__all__ = [
+    "GIB",
+    "LayerSpec",
+    "MODEL_BUILDERS",
+    "ModelSpec",
+    "VisionSpec",
+    "get_model",
+    "list_models",
+]

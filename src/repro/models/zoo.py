@@ -1,0 +1,361 @@
+"""The model zoo: every architecture the paper evaluates (Table 1, §7).
+
+Numbers are taken from the public model configurations.  Where the paper
+relies on a quantity we can only infer, the derivation is noted inline --
+most importantly Jamba's Mamba state, which is sized so that the paper's
+two published ratios hold: a MAX-page design would need 1344 tokens per
+self-attention page, and the LCM page is 84x the small page (Section 4.4).
+
+The Character.ai model follows the paper's approach of reconstructing it
+from the public blog post (sliding-window layers in a 1:6 ratio with full
+attention, plus cross-layer KV sharing) on top of a Llama backbone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.layer_policy import (
+    CROSS_ATTENTION,
+    DROPPED_TOKEN,
+    FULL_ATTENTION,
+    MAMBA,
+    SLIDING_WINDOW,
+)
+from ..core.sequence import IMAGE, TEXT
+from .config import LayerSpec, ModelSpec, VisionSpec
+
+__all__ = ["get_model", "list_models", "MODEL_BUILDERS"]
+
+_TEXT_ONLY = frozenset({TEXT})
+_IMAGE_ONLY = frozenset({IMAGE})
+_ALL = frozenset({TEXT, IMAGE})
+
+
+def _full(kv_heads: int, head_dim: int, tags=_ALL, shared=False) -> LayerSpec:
+    return LayerSpec(
+        FULL_ATTENTION, kv_heads=kv_heads, head_dim=head_dim,
+        accepted_tags=tags, shares_kv_with_previous=shared,
+    )
+
+
+def _window(kv_heads: int, head_dim: int, window: int, tags=_ALL, shared=False) -> LayerSpec:
+    return LayerSpec(
+        SLIDING_WINDOW, kv_heads=kv_heads, head_dim=head_dim, window=window,
+        accepted_tags=tags, shares_kv_with_previous=shared,
+    )
+
+
+# ----------------------------------------------------------------------
+# Text-only dense models
+# ----------------------------------------------------------------------
+
+
+def llama3_8b() -> ModelSpec:
+    """Llama 3.1 8B: 32 homogeneous GQA self-attention layers.
+
+    KV per token = 32 layers * 2 * 8 heads * 128 dim * 2 B = 128 KiB, i.e.
+    ~1.2 GB at ten thousand tokens -- the figure quoted in Section 2.
+    """
+    return ModelSpec(
+        name="llama3-8b",
+        params_b=8.0,
+        hidden_size=4096,
+        layers=tuple(_full(8, 128) for _ in range(32)),
+    )
+
+
+def llama3_70b() -> ModelSpec:
+    """Llama 3.1 70B: 80 GQA self-attention layers."""
+    return ModelSpec(
+        name="llama3-70b",
+        params_b=70.0,
+        hidden_size=8192,
+        layers=tuple(_full(8, 128) for _ in range(80)),
+    )
+
+
+def llama32_1b() -> ModelSpec:
+    """Llama 3.2 1B -- the draft model for speculative decoding."""
+    return ModelSpec(
+        name="llama3.2-1b",
+        params_b=1.2,
+        hidden_size=2048,
+        layers=tuple(_full(8, 64) for _ in range(16)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sliding-window hybrids (Gemma-2, Ministral, Character.ai)
+# ----------------------------------------------------------------------
+
+
+def gemma2_9b() -> ModelSpec:
+    """Gemma-2 9B: full and 4096-token sliding-window layers alternate."""
+    layers: List[LayerSpec] = []
+    for i in range(42):
+        if i % 2 == 0:
+            layers.append(_window(8, 256, window=4096))
+        else:
+            layers.append(_full(8, 256))
+    return ModelSpec(name="gemma2-9b", params_b=9.2, hidden_size=3584, layers=tuple(layers))
+
+
+def gemma2_27b() -> ModelSpec:
+    """Gemma-2 27B: 46 layers, alternating full / sliding-window 4096."""
+    layers = []
+    for i in range(46):
+        if i % 2 == 0:
+            layers.append(_window(16, 128, window=4096))
+        else:
+            layers.append(_full(16, 128))
+    return ModelSpec(name="gemma2-27b", params_b=27.2, hidden_size=4608, layers=tuple(layers))
+
+
+def gemma2_2b() -> ModelSpec:
+    """Gemma-2 2B -- the draft model for Gemma-2 speculative decoding."""
+    layers = []
+    for i in range(26):
+        if i % 2 == 0:
+            layers.append(_window(4, 256, window=4096))
+        else:
+            layers.append(_full(4, 256))
+    return ModelSpec(name="gemma2-2b", params_b=2.6, hidden_size=2304, layers=tuple(layers))
+
+
+def ministral_8b() -> ModelSpec:
+    """Ministral 8B: interleaved sliding-window attention, window 32768.
+
+    Three of every four layers use the sliding window (pattern from the
+    public config).  With arXiv-QA requests of ~128k tokens this yields the
+    56.25% = (27/36) * (1 - 32768/131072) waste figure of Section 3.2.
+    """
+    layers = []
+    for i in range(36):
+        if i % 4 == 3:
+            layers.append(_full(8, 128))
+        else:
+            layers.append(_window(8, 128, window=32768))
+    return ModelSpec(name="ministral-8b", params_b=8.0, hidden_size=4096, layers=tuple(layers))
+
+
+def ministral_draft_1b() -> ModelSpec:
+    """The paper's hand-made 1B Ministral draft (Llama 3.2 1B config)."""
+    spec = llama32_1b()
+    return ModelSpec(
+        name="ministral-draft-1b",
+        params_b=spec.params_b,
+        hidden_size=spec.hidden_size,
+        layers=spec.layers,
+    )
+
+
+def characterai_8b() -> ModelSpec:
+    """Character.ai-style serving model on a Llama 8B backbone.
+
+    Per the public blog: the vast majority of layers use a short sliding
+    window (1024), with a global-attention layer every six layers, and
+    adjacent sliding-window layers share KV across layers (only one of
+    every three stores KV).
+    """
+    layers: List[LayerSpec] = []
+    for i in range(32):
+        if i % 6 == 0:
+            layers.append(_full(8, 128))
+        else:
+            shared = i % 3 != 1  # one of each three window layers stores KV
+            layers.append(_window(8, 128, window=1024, shared=shared))
+    return ModelSpec(name="characterai-8b", params_b=8.0, hidden_size=4096, layers=tuple(layers))
+
+
+def characterai_70b() -> ModelSpec:
+    """Character.ai-style model at Llama 70B scale."""
+    layers: List[LayerSpec] = []
+    for i in range(80):
+        if i % 6 == 0:
+            layers.append(_full(8, 128))
+        else:
+            shared = i % 3 != 1
+            layers.append(_window(8, 128, window=1024, shared=shared))
+    return ModelSpec(name="characterai-70b", params_b=70.0, hidden_size=8192, layers=tuple(layers))
+
+
+# ----------------------------------------------------------------------
+# PyramidKV-style dropped-token models
+# ----------------------------------------------------------------------
+
+
+def pyramidkv_8b() -> ModelSpec:
+    """PyramidKV on Llama 8B: per-layer token budgets shrink with depth.
+
+    Lower layers keep more tokens (pyramidal information funneling); we use
+    four budget tiers of eight layers each.
+    """
+    budgets = [4096, 2048, 1024, 512]
+    layers = []
+    for i in range(32):
+        budget = budgets[i // 8]
+        layers.append(
+            LayerSpec(DROPPED_TOKEN, kv_heads=8, head_dim=128, budget=budget)
+        )
+    return ModelSpec(name="pyramidkv-8b", params_b=8.0, hidden_size=4096, layers=tuple(layers))
+
+
+def pyramidkv_70b() -> ModelSpec:
+    budgets = [4096, 2048, 1024, 512]
+    layers = []
+    for i in range(80):
+        budget = budgets[min(3, i // 20)]
+        layers.append(
+            LayerSpec(DROPPED_TOKEN, kv_heads=8, head_dim=128, budget=budget)
+        )
+    return ModelSpec(name="pyramidkv-70b", params_b=70.0, hidden_size=8192, layers=tuple(layers))
+
+
+# ----------------------------------------------------------------------
+# Jamba (attention + Mamba hybrid)
+# ----------------------------------------------------------------------
+
+# Jamba's published geometry: blocks of eight layers, one attention layer
+# per block, the rest Mamba; 32 layers total -> 4 attention + 28 Mamba.
+# The per-layer state is sized to satisfy the paper's ratios (see module
+# docstring): 1344 * (4 * 4096 B) / 28 = 786432 B per Mamba layer.
+_JAMBA_MAMBA_STATE_PER_LAYER = 786_432
+
+
+def jamba_52b() -> ModelSpec:
+    layers: List[LayerSpec] = []
+    for i in range(32):
+        if i % 8 == 4:
+            layers.append(_full(8, 128))
+        else:
+            layers.append(LayerSpec(MAMBA, state_bytes=_JAMBA_MAMBA_STATE_PER_LAYER))
+    return ModelSpec(name="jamba-52b", params_b=52.0, hidden_size=4096, layers=tuple(layers))
+
+
+# ----------------------------------------------------------------------
+# Multimodal models
+# ----------------------------------------------------------------------
+
+
+def llama32_vision_11b() -> ModelSpec:
+    """Llama 3.2 11B Vision (mllama): 32 self-attention layers caching text
+    tokens and 8 cross-attention layers caching image tokens (Section 3.2).
+
+    The vision encoder's outputs feed the cross-attention KV directly, so
+    no separate embedding cache group is exposed.
+    """
+    layers: List[LayerSpec] = []
+    self_positions = 0
+    for i in range(40):
+        if i % 5 == 3 and sum(1 for l in layers if l.kind == CROSS_ATTENTION) < 8:
+            layers.append(
+                LayerSpec(CROSS_ATTENTION, kv_heads=8, head_dim=128, accepted_tags=_IMAGE_ONLY)
+            )
+        else:
+            layers.append(_full(8, 128, tags=_TEXT_ONLY))
+    return ModelSpec(
+        name="llama3.2-vision-11b",
+        params_b=9.8,
+        hidden_size=4096,
+        layers=tuple(layers),
+        vision=VisionSpec(
+            params_b=0.9,
+            tokens_per_image=1601,
+            embed_bytes_per_token=4096 * 2,
+            cache_embeddings=False,
+        ),
+    )
+
+
+def llava_onevision_7b() -> ModelSpec:
+    """LLaVA-OneVision 7B (Qwen2-7B decoder + SigLIP encoder)."""
+    return ModelSpec(
+        name="llava-onevision-7b",
+        params_b=7.6,
+        hidden_size=3584,
+        layers=tuple(_full(4, 128) for _ in range(28)),
+        vision=VisionSpec(params_b=0.4, tokens_per_image=729, embed_bytes_per_token=3584 * 2),
+    )
+
+
+def internvl2_8b() -> ModelSpec:
+    """InternVL2 8B (InternLM2.5-7B decoder + InternViT-300M encoder)."""
+    return ModelSpec(
+        name="internvl2-8b",
+        params_b=7.7,
+        hidden_size=4096,
+        layers=tuple(_full(8, 128) for _ in range(32)),
+        vision=VisionSpec(params_b=0.3, tokens_per_image=1792, embed_bytes_per_token=4096 * 2, encoder_hidden=1024, tile_tokens=1024),
+    )
+
+
+def phi3_vision_4b() -> ModelSpec:
+    """Phi-3 Vision 4.2B (Phi-3-mini decoder, MHA so KV is relatively fat)."""
+    return ModelSpec(
+        name="phi3-vision-4b",
+        params_b=3.8,
+        hidden_size=3072,
+        layers=tuple(_full(32, 96) for _ in range(32)),
+        vision=VisionSpec(params_b=0.3, tokens_per_image=1921, embed_bytes_per_token=3072 * 2, encoder_hidden=1024, tile_tokens=577),
+    )
+
+
+def paligemma2_10b() -> ModelSpec:
+    """Paligemma2 10B: Gemma-2 9B decoder + SigLIP encoder.
+
+    The paper highlights it as mixing *three* memory types: vision
+    embeddings, sliding-window KV, and full-attention KV.
+    """
+    base = gemma2_9b()
+    return ModelSpec(
+        name="paligemma2-10b",
+        params_b=base.params_b,
+        hidden_size=base.hidden_size,
+        layers=base.layers,
+        vision=VisionSpec(params_b=0.4, tokens_per_image=1024, embed_bytes_per_token=3584 * 2),
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+MODEL_BUILDERS = {
+    "llama3-8b": llama3_8b,
+    "llama3-70b": llama3_70b,
+    "llama3.2-1b": llama32_1b,
+    "gemma2-2b": gemma2_2b,
+    "gemma2-9b": gemma2_9b,
+    "gemma2-27b": gemma2_27b,
+    "ministral-8b": ministral_8b,
+    "ministral-draft-1b": ministral_draft_1b,
+    "characterai-8b": characterai_8b,
+    "characterai-70b": characterai_70b,
+    "pyramidkv-8b": pyramidkv_8b,
+    "pyramidkv-70b": pyramidkv_70b,
+    "jamba-52b": jamba_52b,
+    "llama3.2-vision-11b": llama32_vision_11b,
+    "llava-onevision-7b": llava_onevision_7b,
+    "internvl2-8b": internvl2_8b,
+    "phi3-vision-4b": phi3_vision_4b,
+    "paligemma2-10b": paligemma2_10b,
+}
+
+
+def get_model(name: str, quantized: bool = False) -> ModelSpec:
+    """Look up a model by zoo name; ``quantized`` selects the FP8 variant."""
+    if name.endswith("-fp8"):
+        name = name[: -len("-fp8")]
+        quantized = True
+    builder = MODEL_BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_BUILDERS))}"
+        )
+    spec = builder()
+    return spec.quantized() if quantized else spec
+
+
+def list_models() -> List[str]:
+    return sorted(MODEL_BUILDERS)

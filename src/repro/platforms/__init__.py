@@ -1,0 +1,5 @@
+"""GPU platform envelopes (memory capacity, compute, bandwidth)."""
+
+from .gpu import GPU, H100, L4, KVBudget, kv_budget
+
+__all__ = ["GPU", "H100", "L4", "KVBudget", "kv_budget"]

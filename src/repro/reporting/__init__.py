@@ -1,0 +1,6 @@
+"""Table/series formatting shared by the benchmark harness."""
+
+from .plots import line_plot
+from .tables import Table, fmt_bytes, fmt_ratio, sparkline
+
+__all__ = ["Table", "fmt_bytes", "fmt_ratio", "line_plot", "sparkline"]

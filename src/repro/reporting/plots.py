@@ -1,0 +1,90 @@
+"""ASCII multi-series line plots for the sweep figures.
+
+The benchmark harness has no display; these render Figure 14/17-style
+x-y sweeps as fixed-grid character plots so the saved text results read
+like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["line_plot"]
+
+_MARKERS = "ox+*#@%"
+
+
+def line_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from ``oxe+*...``; the legend maps markers to
+    names.  Axes are linearly scaled to the joint data range.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        row = height - 1 - row  # y grows upward
+        cell = grid[row][col]
+        grid[row][col] = "*" if cell not in (" ", marker) else marker
+
+    legend = []
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        legend.append(f"{marker} = {name}")
+        ordered = sorted(pts)
+        for x, y in ordered:
+            place(x, y, marker)
+        # Connect consecutive points with interpolated dots.
+        for (x1, y1), (x2, y2) in zip(ordered, ordered[1:]):
+            steps = max(
+                2, int(abs(x2 - x1) / x_span * (width - 1)) if x_span else 2
+            )
+            for i in range(1, steps):
+                t = i / steps
+                xi = x1 + (x2 - x1) * t
+                yi = y1 + (y2 - y1) * t
+                col = int(round((xi - x_lo) / x_span * (width - 1)))
+                row = height - 1 - int(round((yi - y_lo) / y_span * (height - 1)))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    pad = max(len(y_hi_label), len(y_lo_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_label.rjust(pad)
+        elif i == height - 1:
+            prefix = y_lo_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * pad} +{'-' * width}"
+    lines.append(axis)
+    x_line = f"{' ' * pad}  {f'{x_lo:.4g}'}{' ' * max(1, width - 12)}{f'{x_hi:.4g}'}"
+    lines.append(x_line)
+    if x_label or y_label:
+        lines.append(f"{' ' * pad}  x: {x_label}   y: {y_label}".rstrip())
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Plain-text tables and sparklines for benchmark output.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, so ``pytest benchmarks/ --benchmark-only -s`` regenerates
+the whole evaluation section in text form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "fmt_bytes", "fmt_ratio", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+class Table:
+    """A fixed-column plain-text table."""
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} TiB"
+
+
+def fmt_ratio(num: float, den: float) -> str:
+    if den == 0:
+        return "n/a"
+    return f"{num / den:.2f}x"
+
+
+def sparkline(values: Iterable[float], width: int = 60) -> str:
+    """Compact unicode series plot (used for Figure 15/16 timelines)."""
+    data = list(values)
+    if not data:
+        return ""
+    if len(data) > width:
+        # Downsample by bucket means.
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(data[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(data), max(data)
+    span = hi - lo or 1.0
+    return "".join(_BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))] for v in data)

@@ -1,0 +1,264 @@
+"""Synthetic stand-ins for the paper's evaluation datasets (Section 7.1).
+
+We cannot ship MMLU-pro / MMMU-pro / arXiv-QA / ShareGPT, so each generator
+reproduces the *summary statistics the paper reports* -- the quantities the
+memory manager actually reacts to:
+
+* **MMLU-pro**: text-only, maximum length 3076 (short enough that
+  sliding-window models degenerate to full attention, which is why the
+  paper switches those models to arXiv-QA).
+* **MMMU-pro**: multimodal; 6193 image tokens and 43 text tokens per
+  request on average (the 79.6%-waste datapoint of Section 3.2).
+* **arXiv-QA**: long-context QA over a pool of articles; questions about
+  the same article share its prefix (Figure 17's workload).  Ministral's
+  variant averages ~92k tokens per request (Figure 13's note).
+* **ShareGPT**: mean length 1085.04 (quoted in Section 4.4).
+* **Long-document QA** (Figure 15): 20 requests at once, inputs uniform in
+  55k-110k tokens, outputs 50-100.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..engine.request import Request
+from ..models.config import ModelSpec
+from .synthetic import clamp, lognormal_lengths, token_block, uniform_lengths
+
+__all__ = [
+    "arxiv_qa_long",
+    "arxiv_qa_multiturn",
+    "mmlu_pro",
+    "mmmu_pro",
+    "arxiv_qa",
+    "sharegpt",
+    "long_document_qa",
+]
+
+
+def mmlu_pro(
+    num_requests: int,
+    seed: int = 0,
+    mean_prompt: int = 1400,
+    max_prompt: int = 3076,
+    mean_output: int = 160,
+    num_subjects: int = 14,
+    fewshot_tokens: int = 1024,
+) -> List[Request]:
+    """Text-only multiple-choice QA with chain-of-thought outputs.
+
+    MMLU-pro is evaluated 5-shot: all questions of one subject share the
+    same few-shot examples, so requests of a subject share a
+    ``fewshot_tokens``-long prefix (this is where prefix caching pays off
+    in the end-to-end runs; the paper attributes Figure 13's speedups to
+    "both less memory waste and better prefix caching").
+    """
+    rng = random.Random(f"{seed}:" + str("mmlu-pro"))
+    prompts = lognormal_lengths(rng, num_requests, mean_prompt, 0.6, 64, max_prompt)
+    outputs = lognormal_lengths(rng, num_requests, mean_output, 0.5, 16, 1024)
+    requests = []
+    for i, (p, o) in enumerate(zip(prompts, outputs)):
+        subject = rng.randrange(num_subjects)
+        prefix = token_block(seed, "mmlu-fewshot", subject, fewshot_tokens)
+        question_len = max(16, p - fewshot_tokens)
+        question = token_block(seed, "mmlu", i, question_len)
+        requests.append(
+            Request.text(f"mmlu-{i}", prefix + question, max_output_tokens=o)
+        )
+    return requests
+
+
+def mmmu_pro(
+    num_requests: int,
+    model: ModelSpec,
+    seed: int = 0,
+    mean_image_tokens: int = 6193,
+    mean_text_tokens: int = 43,
+    mean_output: int = 60,
+) -> List[Request]:
+    """Multimodal QA: image-dominated prompts (Section 3.2's statistics).
+
+    The number of images per request follows from the model's
+    tokens-per-image geometry so the *total* image tokens average
+    ``mean_image_tokens``.
+    """
+    if model.vision is None:
+        raise ValueError(f"{model.name} is not a multimodal model")
+    rng = random.Random(f"{seed}:" + str("mmmu-pro"))
+    per_image = model.vision.tokens_per_image
+    requests = []
+    for i in range(num_requests):
+        image_tokens = clamp(int(rng.gauss(mean_image_tokens, mean_image_tokens * 0.2)),
+                             per_image, mean_image_tokens * 3)
+        num_images = max(1, round(image_tokens / per_image))
+        text_tokens = clamp(int(rng.gauss(mean_text_tokens, 15)), 8, 512)
+        output = clamp(int(rng.gauss(mean_output, 20)), 8, 512)
+        segments = []
+        # Question text follows the image(s), as in MMMU-pro prompts.
+        for j in range(num_images):
+            segments.append(("image", token_block(seed, f"img-{i}", j, per_image)))
+        segments.append(("text", token_block(seed, f"q-{i}", 0, text_tokens)))
+        requests.append(
+            Request.multimodal(f"mmmu-{i}", segments, max_output_tokens=output)
+        )
+    return requests
+
+
+def arxiv_qa(
+    num_articles: int,
+    questions_per_article: int,
+    seed: int = 0,
+    article_tokens: int = 24000,
+    question_tokens: int = 64,
+    mean_output: int = 128,
+    interleave: bool = False,
+    shuffle: bool = False,
+) -> List[Request]:
+    """Question answering over a pool of arXiv articles (Figure 17).
+
+    Each request is (article prefix + unique question); requests about the
+    same article share its prefix, so a prefix-cache hit saves the article
+    prefill.  Ordering options:
+
+    * default -- all questions about one article arrive back to back;
+    * ``interleave=True`` -- questions rotate across articles (a strict
+      LRU-adversarial scan: article 0 q0, article 1 q0, ..., article 0 q1);
+    * ``shuffle=True`` -- (article, question) pairs in random order, the
+      realistic pattern where hit rate tracks effective cache capacity.
+    """
+    rng = random.Random(f"{seed}:" + str("arxiv-qa"))
+    order = []
+    if interleave:
+        for q in range(questions_per_article):
+            for a in range(num_articles):
+                order.append((a, q))
+    else:
+        for a in range(num_articles):
+            for q in range(questions_per_article):
+                order.append((a, q))
+    if shuffle:
+        rng.shuffle(order)
+    requests = []
+    articles = {
+        a: token_block(seed, "article", a, article_tokens) for a in range(num_articles)
+    }
+    for i, (a, q) in enumerate(order):
+        question = token_block(seed, f"question-{a}", q, question_tokens)
+        output = clamp(int(rng.gauss(mean_output, 32)), 16, 512)
+        requests.append(
+            Request.text(f"arxiv-a{a}-q{q}", articles[a] + question, max_output_tokens=output)
+        )
+    return requests
+
+
+def arxiv_qa_multiturn(
+    num_articles: int,
+    turns: int,
+    seed: int = 0,
+    article_tokens: int = 24000,
+    question_tokens: int = 64,
+    answer_tokens: int = 128,
+    shuffle: bool = True,
+) -> List[Request]:
+    """Multi-turn QA over articles: each turn extends the conversation.
+
+    Turn ``t``'s prompt is the article plus every earlier (question,
+    answer) pair, so a prefix-cache hit covers the *whole previous turn*
+    -- including, for sliding-window layers, exactly the trailing window
+    the previous turn left cached.  This is the workload Figure 17's
+    hit-rate comparison exercises: systems that retain more conversations
+    (Jenga, by evicting out-of-window KV first) sustain higher hit rates
+    as the number of concurrent conversations grows.
+
+    Turn order is preserved within a conversation; with ``shuffle`` the
+    conversations interleave randomly, like independent users.
+    """
+    from ..engine.request import generated_token
+
+    rng = random.Random(f"{seed}:arxiv-multiturn")
+    per_conv: List[List[Request]] = []
+    for a in range(num_articles):
+        history = list(token_block(seed, "article", a, article_tokens))
+        conv = []
+        for t in range(turns):
+            rid = f"arxivmt-a{a}-t{t}"
+            question = token_block(seed, f"mt-question-{a}", t, question_tokens)
+            prompt = history + question
+            conv.append(Request.text(rid, prompt, max_output_tokens=answer_tokens))
+            # The next turn's history includes this turn's (deterministic)
+            # generated answer.
+            history = prompt + [generated_token(rid, i) for i in range(answer_tokens)]
+        per_conv.append(conv)
+    # Merge conversations preserving per-conversation turn order.
+    order: List[Request] = []
+    cursors = [0] * num_articles
+    remaining = num_articles * turns
+    while remaining:
+        if shuffle:
+            candidates = [a for a in range(num_articles) if cursors[a] < turns]
+            a = rng.choice(candidates)
+        else:
+            a = min(
+                (x for x in range(num_articles) if cursors[x] < turns),
+                key=lambda x: cursors[x] * num_articles + x,
+            )
+        order.append(per_conv[a][cursors[a]])
+        cursors[a] += 1
+        remaining -= 1
+    return order
+
+
+def arxiv_qa_long(
+    num_requests: int,
+    seed: int = 0,
+    mean_prompt: int = 92408,
+    mean_output: int = 128,
+) -> List[Request]:
+    """Ministral's long-context arXiv-QA variant (~92k-token requests)."""
+    rng = random.Random(f"{seed}:" + str("arxiv-long"))
+    requests = []
+    for i in range(num_requests):
+        p = clamp(int(rng.gauss(mean_prompt, mean_prompt * 0.25)), 8192, 131072)
+        o = clamp(int(rng.gauss(mean_output, 32)), 16, 512)
+        tokens = token_block(seed, "arxiv-long", i, p)
+        requests.append(Request.text(f"arxivL-{i}", tokens, max_output_tokens=o))
+    return requests
+
+
+def sharegpt(
+    num_requests: int,
+    seed: int = 0,
+    mean_prompt: float = 1085.04,
+    mean_output: int = 200,
+) -> List[Request]:
+    """ShareGPT-shaped conversations (mean length quoted in Section 4.4)."""
+    rng = random.Random(f"{seed}:" + str("sharegpt"))
+    prompts = lognormal_lengths(rng, num_requests, mean_prompt, 1.0, 16, 16384)
+    outputs = lognormal_lengths(rng, num_requests, mean_output, 0.8, 8, 2048)
+    return [
+        Request.text(
+            f"sharegpt-{i}", token_block(seed, "sgpt", i, p), max_output_tokens=o
+        )
+        for i, (p, o) in enumerate(zip(prompts, outputs))
+    ]
+
+
+def long_document_qa(
+    num_requests: int = 20,
+    seed: int = 0,
+    min_prompt: int = 55_000,
+    max_prompt: int = 110_000,
+    min_output: int = 50,
+    max_output: int = 100,
+) -> List[Request]:
+    """Figure 15's workload: long documents, short answers, all at once."""
+    rng = random.Random(f"{seed}:" + str("longdoc"))
+    prompts = uniform_lengths(rng, num_requests, min_prompt, max_prompt)
+    outputs = uniform_lengths(rng, num_requests, min_output, max_output)
+    return [
+        Request.text(
+            f"longdoc-{i}", token_block(seed, "doc", i, p), max_output_tokens=o
+        )
+        for i, (p, o) in enumerate(zip(prompts, outputs))
+    ]

@@ -1,0 +1,56 @@
+"""Seeded synthetic token/length generators.
+
+All workloads are derived from seeded RNGs so every experiment is exactly
+reproducible.  Token *content* only matters for prefix-cache hashing, so
+token ids are drawn uniformly; shared prefixes (the same article, the same
+image) reuse the same draw.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = [
+    "token_block",
+    "lognormal_lengths",
+    "uniform_lengths",
+    "clamp",
+]
+
+
+def token_block(seed: int, tag: str, index: int, length: int) -> List[int]:
+    """A deterministic block of token ids.
+
+    The same ``(seed, tag, index, length)`` always yields the same tokens,
+    which is how workloads express shared prefixes (two requests quoting
+    article 3 call ``token_block(seed, "article", 3, n)`` and get identical
+    ids, so their blocks hash equal in the prefix cache).
+    """
+    rng = random.Random(f"{seed}:{tag}:{index}")
+    return [rng.randrange(1, 2**31) for _ in range(length)]
+
+
+def lognormal_lengths(
+    rng: random.Random, n: int, mean: float, sigma: float, lo: int, hi: int
+) -> List[int]:
+    """``n`` lengths, lognormal-shaped with the given arithmetic mean.
+
+    Real request-length distributions (ShareGPT, MMLU-pro) are heavy
+    tailed; a clipped lognormal reproduces that shape.  ``mean`` is the
+    target arithmetic mean before clipping.
+    """
+    import math
+
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    mu = math.log(mean) - sigma * sigma / 2.0
+    return [clamp(int(rng.lognormvariate(mu, sigma)), lo, hi) for _ in range(n)]
+
+
+def uniform_lengths(rng: random.Random, n: int, lo: int, hi: int) -> List[int]:
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+def clamp(value: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, value))

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["teleport"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "jamba-52b" in out
+        assert "llama3-8b" in out
+
+    def test_groups(self, capsys):
+        assert main(["groups", "--model", "gemma2-9b"]) == 0
+        out = capsys.readouterr().out
+        assert "sliding_window:4096" in out
+        assert "self_attn" in out
+
+    def test_groups_fp8(self, capsys):
+        assert main(["groups", "--model", "llama3-70b", "--fp8"]) == 0
+
+    def test_throughput_small(self, capsys):
+        assert main([
+            "throughput", "--model", "llama3-8b", "--workload", "sharegpt",
+            "--requests", "8", "--kv-gib", "2", "--systems", "vllm,jenga",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vllm" in out and "jenga" in out
+
+    def test_latency_small(self, capsys):
+        assert main([
+            "latency", "--model", "llama3-8b", "--workload", "sharegpt",
+            "--requests", "6", "--kv-gib", "2", "--rate", "2.0",
+        ]) == 0
+        assert "TTFT" in capsys.readouterr().out
+
+    def test_specdecode_small(self, capsys):
+        assert main([
+            "specdecode", "--target", "llama3-8b", "--draft", "llama3.2-1b",
+            "--requests", "6", "--kv-gib", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vllm-manual" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["throughput", "--model", "llama3-8b", "--workload", "secret"])

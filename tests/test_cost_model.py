@@ -1,0 +1,128 @@
+"""Tests for the analytic roofline cost model."""
+
+import pytest
+
+from repro.engine.cost_model import CostModel, StepWork, _sum_min_range
+from repro.models import get_model
+from repro.platforms import H100, L4
+
+
+def model():
+    return get_model("llama3-8b")
+
+
+class TestSumMinRange:
+    def test_unlimited_is_arithmetic_series(self):
+        assert _sum_min_range(0, 5, None) == 0 + 1 + 2 + 3 + 4
+
+    def test_fully_capped(self):
+        assert _sum_min_range(10, 15, 4) == 4 * 5
+
+    def test_straddles_cap(self):
+        assert _sum_min_range(2, 8, 5) == 2 + 3 + 4 + 5 + 5 + 5
+
+    def test_empty_range(self):
+        assert _sum_min_range(5, 5, None) == 0
+
+    def test_matches_bruteforce(self):
+        for p0, p1, lim in ((0, 20, 7), (3, 9, None), (8, 30, 8), (0, 1, 1)):
+            expect = sum(min(t, lim) if lim else t for t in range(p0, p1))
+            assert _sum_min_range(p0, p1, lim) == expect
+
+
+class TestStepTime:
+    def test_empty_step_is_overhead(self):
+        cost = CostModel(model(), H100)
+        assert cost.step_time(StepWork()) > 0
+
+    def test_decode_batching_amortizes(self):
+        """Larger decode batches yield more tokens/sec -- the property all
+        of Jenga's throughput gains rest on."""
+        cost = CostModel(model(), H100)
+
+        def tput(batch):
+            ctx, read = cost.attention_read(2048)
+            work = StepWork(
+                decode_tokens=batch,
+                attn_context_tokens=ctx * batch,
+                kv_read_bytes=read * batch,
+                kv_write_bytes=cost.write_bytes_per_token() * batch,
+            )
+            return batch / cost.step_time(work)
+
+        assert tput(8) > 2 * tput(1)
+        assert tput(64) > tput(8)
+
+    def test_longer_context_costs_more(self):
+        cost = CostModel(model(), H100)
+
+        def t(ctx_len):
+            ctx, read = cost.attention_read(ctx_len)
+            return cost.step_time(
+                StepWork(decode_tokens=1, attn_context_tokens=ctx, kv_read_bytes=read)
+            )
+
+        assert t(100_000) > t(1_000)
+
+    def test_l4_slower_than_h100(self):
+        work = StepWork(prefill_tokens=4096, attn_context_tokens=4096 * 100.0)
+        assert CostModel(model(), L4).step_time(work) > CostModel(model(), H100).step_time(work)
+
+    def test_kernel_slowdown_scales_attention(self):
+        m = model()
+        ctx, read = CostModel(m, H100).attention_read(8192)
+        work = StepWork(decode_tokens=1, attn_context_tokens=ctx, kv_read_bytes=read)
+        fast = CostModel(m, H100).step_time(work)
+        slow = CostModel(m, H100, kernel_slowdown=2.0).step_time(work)
+        assert slow > fast
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(model(), H100, kernel_slowdown=0.5)
+
+    def test_merge(self):
+        a = StepWork(prefill_tokens=5, decode_tokens=2, images_encoded=1)
+        b = StepWork(prefill_tokens=3, speculative_extra_tokens=4)
+        c = a.merge(b)
+        assert c.prefill_tokens == 8
+        assert c.total_tokens == 8 + 2 + 4
+        assert c.images_encoded == 1
+
+
+class TestAttentionReads:
+    def test_window_caps_reads(self):
+        ministral = get_model("ministral-8b")
+        llama_like = get_model("llama3-8b")
+        cm_win = CostModel(ministral, H100)
+        cm_full = CostModel(llama_like, H100)
+        ctx_w, read_w = cm_win.attention_read(100_000)
+        ctx_f, read_f = cm_full.attention_read(100_000)
+        # Ministral has 36 layers vs 32 but 27 of them cap at 32768.
+        assert read_w < read_f * 36 / 32
+
+    def test_mamba_reads_state(self):
+        jamba = get_model("jamba-52b")
+        cm = CostModel(jamba, H100)
+        _, read = cm.attention_read(10)
+        assert read >= jamba.mamba_state_bytes()
+
+    def test_compute_is_additive_memory_subadditive(self):
+        cm = CostModel(model(), H100)
+        ctx_a, read_a = cm.attention_read_range(0, 10)
+        ctx_b, read_b = cm.attention_read_range(10, 20)
+        ctx_ab, read_ab = cm.attention_read_range(0, 20)
+        # Attention FLOPs are per-token (quadratic overall) -> additive.
+        assert ctx_a + ctx_b == pytest.approx(ctx_ab)
+        # KV streaming happens once per pass -> one big pass reads no more
+        # than two smaller ones.
+        assert read_ab <= read_a + read_b
+
+    def test_write_bytes(self):
+        cm = CostModel(model(), H100)
+        assert cm.write_bytes_per_token() == 32 * 4096
+
+    def test_encoder_time(self):
+        vlm = get_model("llava-onevision-7b")
+        cm = CostModel(vlm, H100)
+        assert cm.encoder_time(0) == 0.0
+        assert cm.encoder_time(2) == pytest.approx(2 * cm.encoder_time(1))

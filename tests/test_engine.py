@@ -1,0 +1,262 @@
+"""Tests for the serving-engine simulator."""
+
+import pytest
+
+from repro.baselines import PagedAttentionManager, make_manager
+from repro.core.kv_manager import JengaKVCacheManager
+from repro.engine import LLMEngine, Request, SchedulerConfig, profile_config
+from repro.engine.request import RequestState
+from repro.engine.scheduler import WaitingQueue
+from repro.models import GIB, get_model
+from repro.platforms import H100, L4, kv_budget
+from repro.workloads import token_block
+
+
+def make_engine(model_name="llama3-8b", system="jenga", kv=2 * GIB, gpu=H100,
+                caching=True, **cfg):
+    model = get_model(model_name)
+    mgr = make_manager(system, model, kv, enable_prefix_caching=caching)
+    return LLMEngine(model, gpu, mgr, config=SchedulerConfig(**cfg))
+
+
+def reqs(n, prompt=64, output=8, arrival=0.0, tag="t"):
+    return [
+        Request.text(f"{tag}{i}", token_block(0, tag, i, prompt), output,
+                     arrival_time=arrival)
+        for i in range(n)
+    ]
+
+
+class TestBasicServing:
+    def test_single_request_completes(self):
+        eng = make_engine()
+        eng.add_requests(reqs(1, prompt=100, output=5))
+        m = eng.run()
+        assert len(m.requests) == 1
+        r = m.requests[0]
+        assert r.output_len == 5
+        assert r.finish_time > r.first_token_time >= r.arrival_time
+        assert not eng.failed
+
+    def test_batch_completes(self):
+        eng = make_engine()
+        eng.add_requests(reqs(20, prompt=128, output=16))
+        m = eng.run()
+        assert len(m.requests) == 20
+        assert m.total_output_tokens == 20 * 16
+
+    def test_fcfs_first_token_order(self):
+        eng = make_engine()
+        rs = reqs(5, prompt=64, output=4)
+        for i, r in enumerate(rs):
+            r.arrival_time = float(i)
+        eng.add_requests(rs)
+        m = eng.run()
+        by_id = {r.request_id: r for r in m.requests}
+        firsts = [by_id[f"t{i}"].first_token_time for i in range(5)]
+        assert firsts == sorted(firsts)
+
+    def test_arrivals_gate_admission(self):
+        eng = make_engine()
+        late = reqs(1, prompt=64, output=4)[0]
+        late.arrival_time = 100.0
+        eng.add_request(late)
+        m = eng.run()
+        assert m.requests[0].first_token_time >= 100.0
+
+    def test_deterministic_replay(self):
+        m1 = None
+        for _ in range(2):
+            eng = make_engine()
+            eng.add_requests(reqs(12, prompt=200, output=12))
+            m = eng.run()
+            if m1 is None:
+                m1 = m
+            else:
+                assert m.makespan == m1.makespan
+                assert [s.decode_batch for s in m.steps] == [
+                    s.decode_batch for s in m1.steps
+                ]
+
+    def test_metrics_latency_definitions(self):
+        eng = make_engine()
+        eng.add_requests(reqs(1, prompt=64, output=10))
+        m = eng.run()
+        r = m.requests[0]
+        assert r.e2el == pytest.approx(r.finish_time - r.arrival_time)
+        assert r.tpot == pytest.approx(
+            (r.finish_time - r.first_token_time) / 9
+        )
+
+
+class TestChunkedPrefill:
+    def test_long_prompt_spans_steps(self):
+        eng = make_engine(max_num_batched_tokens=256)
+        eng.add_requests(reqs(1, prompt=1000, output=2))
+        m = eng.run()
+        prefill_steps = [s for s in m.steps if s.prefill_tokens > 0]
+        assert len(prefill_steps) >= 4
+        assert all(s.prefill_tokens <= 256 for s in m.steps)
+
+    def test_disabled_chunking_waits_for_budget(self):
+        eng = make_engine(max_num_batched_tokens=256, enable_chunked_prefill=False)
+        eng.add_requests(reqs(1, prompt=100, output=2) + reqs(1, prompt=500, output=2, tag="u"))
+        m = eng.run(max_steps=50)
+        # The 500-token prompt can never fit a 256 budget -> never scheduled.
+        assert len(m.requests) == 1
+
+    def test_decode_has_priority_over_prefill(self):
+        eng = make_engine(max_num_batched_tokens=128)
+        first = reqs(1, prompt=64, output=50)[0]
+        second = reqs(1, prompt=1000, output=2, tag="u")[0]
+        second.arrival_time = 0.01
+        eng.add_request(first)
+        eng.add_request(second)
+        m = eng.run()
+        # Steps that prefill the long prompt still decode the short one.
+        mixed = [s for s in m.steps if s.prefill_tokens > 0 and s.decode_batch > 0]
+        assert mixed
+
+
+class TestMemoryPressure:
+    def test_preemption_under_pressure(self):
+        # 96 MiB with ~42 MiB per request: roughly two fit at a time.
+        eng = make_engine(kv=96 * 1024 * 1024)
+        eng.add_requests(reqs(16, prompt=300, output=32))
+        m = eng.run(max_steps=20000)
+        assert len(m.requests) == 16  # everyone eventually finishes
+        assert max(s.num_running for s in m.steps) <= 3
+
+    def test_oversized_request_fails_cleanly(self):
+        eng = make_engine(kv=32 * 1024 * 1024, caching=False)
+        eng.add_requests(reqs(1, prompt=50_000, output=4))
+        m = eng.run(max_steps=1000)
+        assert len(eng.failed) == 1
+        assert not m.requests
+        assert eng.manager.stats().used_bytes == 0
+
+    def test_window_model_survives_where_baseline_fails(self):
+        """The paper's L4 Ministral observation: vLLM cannot serve the
+        longest requests, Jenga can."""
+        model = get_model("ministral-8b", quantized=True)
+        budget = kv_budget(model, L4)
+        prompt = token_block(0, "long", 0, 120_000)
+        for system, expect_fail in (("vllm", True), ("jenga", False)):
+            mgr = make_manager(system, model, budget.kv_bytes, enable_prefix_caching=False)
+            eng = LLMEngine(model, L4, mgr)
+            eng.add_request(Request.text("big", prompt, 8))
+            m = eng.run(max_steps=5000)
+            assert bool(eng.failed) == expect_fail, system
+
+    def test_vllm_and_jenga_identical_on_plain_llama(self):
+        """Figure 13: no overhead on self-attention-only models."""
+        results = []
+        for system in ("vllm", "jenga"):
+            eng = make_engine(system=system, kv=GIB, caching=False)
+            eng.add_requests(reqs(24, prompt=512, output=24))
+            results.append(eng.run())
+        assert results[0].makespan == pytest.approx(results[1].makespan)
+        assert results[0].mean_decode_batch() == results[1].mean_decode_batch()
+
+
+class TestPrefixCachingInEngine:
+    def test_second_identical_prompt_faster(self):
+        eng = make_engine(kv=2 * GIB)
+        prompt = token_block(0, "shared", 0, 2000)
+        a = Request.text("a", prompt + [1], 4, arrival_time=0.0)
+        b = Request.text("b", prompt + [2], 4, arrival_time=50.0)
+        eng.add_requests([a, b])
+        m = eng.run()
+        by_id = {r.request_id: r for r in m.requests}
+        assert by_id["b"].cached_prompt_tokens >= 1984
+        assert by_id["b"].ttft < by_id["a"].ttft
+
+    def test_hit_rate_reported(self):
+        eng = make_engine()
+        prompt = token_block(0, "shared", 1, 512)
+        eng.add_request(Request.text("a", prompt + [1], 4, arrival_time=0.0))
+        eng.add_request(Request.text("b", prompt + [2], 4, arrival_time=10.0))
+        m = eng.run()
+        assert m.prefix_hit_rate > 0
+
+
+class TestVisionServing:
+    def make_vlm(self, system):
+        model = get_model("llava-onevision-7b")
+        mgr = make_manager(system, model, 4 * GIB, enable_prefix_caching=False)
+        return model, LLMEngine(model, H100, mgr, config=SchedulerConfig(max_num_batched_tokens=1024))
+
+    def vlm_request(self, model, rid="v0"):
+        per_image = model.vision.tokens_per_image
+        return Request.multimodal(
+            rid,
+            [("image", token_block(0, rid, 0, per_image * 3)), ("text", token_block(0, rid + "q", 0, 64))],
+            max_output_tokens=8,
+        )
+
+    def test_jenga_encodes_once(self):
+        model, eng = self.make_vlm("jenga")
+        eng.add_request(self.vlm_request(model))
+        m = eng.run()
+        assert len(m.requests) == 1
+
+    def test_vision_cache_improves_latency(self):
+        """Figure 18: the vision-embedding cache avoids re-running the
+        encoder on every prefill chunk."""
+        lat = {}
+        for system in ("vllm", "jenga"):
+            model, eng = self.make_vlm(system)
+            eng.add_request(self.vlm_request(model))
+            m = eng.run()
+            lat[system] = m.requests[0].e2el
+        assert lat["jenga"] < lat["vllm"]
+
+    def test_vision_pages_freed_after_prefill(self):
+        model, eng = self.make_vlm("jenga")
+        req = self.vlm_request(model)
+        eng.add_request(req)
+        m = eng.run()
+        stats = eng.manager.stats()
+        assert stats.used_bytes_by_group.get("vision_embed", 0) == 0
+
+
+class TestWaitingQueue:
+    def test_fcfs_order(self):
+        q = WaitingQueue()
+        a = Request.text("a", [1], 1, arrival_time=2.0)
+        b = Request.text("b", [1], 1, arrival_time=1.0)
+        q.push(a)
+        q.push(b)
+        assert q.pop_ready(10.0) is b
+        assert q.pop_ready(10.0) is a
+
+    def test_arrival_gating(self):
+        q = WaitingQueue()
+        q.push(Request.text("a", [1], 1, arrival_time=5.0))
+        assert q.peek_ready(4.0) is None
+        assert q.pop_ready(4.0) is None
+        assert q.next_arrival() == 5.0
+        assert q.pop_ready(5.0) is not None
+
+
+class TestProfiles:
+    def test_profiles_exist(self):
+        for name in ("vllm", "sglang", "tgi"):
+            cfg = profile_config(name)
+            assert cfg.max_num_batched_tokens > 0
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile_config("lmdeploy")
+
+    def test_tgi_shortens_outputs(self):
+        model = get_model("llama3-8b")
+        mgr = make_manager("tgi", model, GIB)
+        eng = LLMEngine(model, H100, mgr, config=profile_config("tgi"))
+        r = reqs(1, prompt=64, output=100)[0]
+        eng.add_request(r)
+        assert r.max_output_tokens == 60
+
+    def test_override(self):
+        cfg = profile_config("vllm", max_num_seqs=17)
+        assert cfg.max_num_seqs == 17

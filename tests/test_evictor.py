@@ -1,0 +1,112 @@
+"""Tests for the two-key LRU evictor."""
+
+import pytest
+
+from repro.core.evictor import LRUEvictor
+
+
+class TestBasics:
+    def test_empty(self):
+        ev = LRUEvictor()
+        assert len(ev) == 0
+        assert ev.peek() is None
+        with pytest.raises(KeyError):
+            ev.evict()
+
+    def test_add_and_evict_order(self):
+        ev = LRUEvictor()
+        ev.add("a", last_access=3.0)
+        ev.add("b", last_access=1.0)
+        ev.add("c", last_access=2.0)
+        assert ev.evict() == "b"
+        assert ev.evict() == "c"
+        assert ev.evict() == "a"
+
+    def test_contains(self):
+        ev = LRUEvictor()
+        ev.add("x", 1.0)
+        assert "x" in ev
+        assert "y" not in ev
+
+    def test_peek_does_not_remove(self):
+        ev = LRUEvictor()
+        ev.add("a", 1.0)
+        assert ev.peek() == "a"
+        assert len(ev) == 1
+
+
+class TestPrefixLengthTiebreak:
+    def test_deeper_prefix_evicted_first(self):
+        # Section 5.1: among pages with the same last-access time, the page
+        # with the largest prefix length goes first (aligned eviction).
+        ev = LRUEvictor()
+        ev.add("shallow", last_access=5.0, prefix_length=2)
+        ev.add("deep", last_access=5.0, prefix_length=10)
+        ev.add("mid", last_access=5.0, prefix_length=5)
+        assert [ev.evict() for _ in range(3)] == ["deep", "mid", "shallow"]
+
+    def test_last_access_dominates_prefix(self):
+        ev = LRUEvictor()
+        ev.add("old-shallow", last_access=1.0, prefix_length=1)
+        ev.add("new-deep", last_access=2.0, prefix_length=100)
+        assert ev.evict() == "old-shallow"
+
+
+class TestUpdatesAndRemoval:
+    def test_update_changes_priority(self):
+        ev = LRUEvictor()
+        ev.add("a", 1.0)
+        ev.add("b", 2.0)
+        ev.add("a", 3.0)  # refresh
+        assert ev.evict() == "b"
+        assert ev.evict() == "a"
+
+    def test_remove(self):
+        ev = LRUEvictor()
+        ev.add("a", 1.0)
+        ev.add("b", 2.0)
+        ev.remove("a")
+        assert "a" not in ev
+        assert ev.evict() == "b"
+
+    def test_remove_missing_raises(self):
+        ev = LRUEvictor()
+        with pytest.raises(KeyError):
+            ev.remove("ghost")
+
+    def test_discard_missing_ok(self):
+        ev = LRUEvictor()
+        assert ev.discard("ghost") is False
+        ev.add("a", 1.0)
+        assert ev.discard("a") is True
+        assert len(ev) == 0
+
+    def test_stale_entries_skipped_after_many_updates(self):
+        ev = LRUEvictor()
+        for i in range(100):
+            ev.add("a", float(i))
+        ev.add("b", 0.5)
+        assert ev.evict() == "b"
+        assert ev.evict() == "a"
+        assert len(ev) == 0
+
+    def test_priority_of(self):
+        ev = LRUEvictor()
+        ev.add("a", 4.0, prefix_length=7.0)
+        assert ev.priority_of("a") == (4.0, 7.0)
+
+    def test_items_in_order(self):
+        ev = LRUEvictor()
+        ev.add("a", 3.0)
+        ev.add("b", 1.0)
+        ev.add("c", 2.0)
+        assert ev.items_in_order() == ["b", "c", "a"]
+        # items_in_order must not mutate the evictor.
+        assert len(ev) == 3
+
+    def test_readd_after_evict(self):
+        ev = LRUEvictor()
+        ev.add("a", 1.0)
+        assert ev.evict() == "a"
+        ev.add("a", 2.0)
+        assert ev.evict() == "a"

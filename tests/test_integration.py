@@ -1,0 +1,165 @@
+"""End-to-end integration tests asserting the paper's qualitative shapes.
+
+These are scaled-down versions of the benchmark scenarios, sized to run in
+seconds; the full-size reproductions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro import (
+    H100,
+    L4,
+    JengaKVCacheManager,
+    LLMEngine,
+    Request,
+    SchedulerConfig,
+    get_model,
+    kv_budget,
+    make_manager,
+)
+from repro.core.kv_manager import ideal_resident_bytes
+from repro.engine.scheduler import profile_config
+from repro.models import GIB
+from repro.workloads import (
+    arxiv_qa,
+    arxiv_qa_multiturn,
+    long_document_qa,
+    mmmu_pro,
+    token_block,
+)
+
+
+def run(model, gpu, system, requests, kv=None, caching=True, **cfg):
+    budget_kv = kv if kv is not None else kv_budget(model, gpu).kv_bytes
+    mgr = make_manager(system, model, budget_kv, enable_prefix_caching=caching)
+    eng = LLMEngine(model, gpu, mgr, config=profile_config("vllm", **cfg))
+    eng.add_requests(requests)
+    metrics = eng.run(max_steps=60_000)
+    return eng, metrics
+
+
+class TestFig15DecodeBatch:
+    def test_jenga_larger_decode_batch_fewer_steps(self):
+        """Figure 15: Jenga roughly doubles the decode batch and halves the
+        step count on the long-document workload."""
+        model = get_model("ministral-8b")
+        results = {}
+        for system in ("vllm", "jenga"):
+            _, m = run(
+                model, H100, system, long_document_qa(10, seed=3), caching=False
+            )
+            assert len(m.requests) == 10
+            results[system] = m
+        jenga, vllm = results["jenga"], results["vllm"]
+        assert jenga.mean_decode_batch() > 1.4 * vllm.mean_decode_batch()
+        assert len(jenga.steps) < len(vllm.steps)
+
+
+class TestFig16Fragmentation:
+    def test_vllm_wastes_jenga_does_not(self):
+        """Figure 16: vLLM keeps out-of-window KV (tens of percent wasted);
+        Jenga's waste stays under a percent."""
+        model = get_model("ministral-8b")
+        groups = model.kv_groups()
+        n = 60_000
+        seq_tokens = token_block(0, "frag", 0, n)
+        for system, max_waste in (("vllm", None), ("jenga", 0.02)):
+            mgr = make_manager(system, model, 40 * GIB, enable_prefix_caching=False)
+            eng = LLMEngine(model, H100, mgr)
+            eng.add_request(Request.text("r", seq_tokens, 8))
+            eng.run(max_steps=5000)
+            # Snapshot taken right before completion instead: rerun partially.
+            mgr = make_manager(system, model, 40 * GIB, enable_prefix_caching=False)
+            eng = LLMEngine(model, H100, mgr)
+            eng.add_request(Request.text("r", seq_tokens, 8))
+            for _ in range(12):
+                eng.step()
+            req = eng.running[0]
+            used = mgr.stats().used_bytes
+            ideal = ideal_resident_bytes(groups, req.seq, req.num_computed_tokens)
+            waste = 1 - ideal / used
+            if system == "vllm":
+                assert waste > 0.3  # paper: 38.2% average
+            else:
+                assert waste < max_waste  # paper: 0.04%
+
+
+class TestFig17PrefixCaching:
+    def test_window_aware_eviction_wins_when_cache_is_tight(self):
+        """Figure 17: with few articles both systems cache everything; with
+        many articles Jenga's window-aware eviction yields more hits.
+
+        Articles must exceed the sliding window for the effect to exist:
+        Jenga then only needs the trailing window of each article in the
+        window layers, so more articles fit its cache.
+        """
+        model = get_model("gemma2-9b")
+        # Multi-turn conversations over 16k-token articles, window 4096:
+        # vLLM caches ~5.5 GiB per conversation (every layer, every token);
+        # Jenga ~3.1 GiB (full layers everything, window layers only the
+        # trailing window -- the rest demotes to the evict-first class).
+        # 24 GiB holds ~4.3 conversations for vLLM, ~7.7 for Jenga.
+        kv = 24 * GIB
+
+        def hit_rate(system, articles):
+            reqs = arxiv_qa_multiturn(articles, 4, seed=1, article_tokens=16000)
+            if system == "vllm":
+                from repro.baselines import PagedAttentionManager
+
+                mgr = PagedAttentionManager(
+                    model, kv, enable_prefix_caching=True,
+                    allow_unsupported_prefix_caching=True,
+                )
+            else:
+                mgr = make_manager(system, model, kv, enable_prefix_caching=True)
+            eng = LLMEngine(model, H100, mgr, config=SchedulerConfig(max_num_seqs=1))
+            eng.add_requests(reqs)
+            m = eng.run(max_steps=60_000)
+            return m.prefix_hit_rate
+
+        few_v, few_j = hit_rate("vllm", 2), hit_rate("jenga", 2)
+        many_v, many_j = hit_rate("vllm", 9), hit_rate("jenga", 9)
+        assert few_j == pytest.approx(few_v, abs=0.12)  # both cache everything
+        assert many_j > many_v + 0.05  # Jenga evicts out-of-window KV first
+
+
+class TestFig18VisionCache:
+    def test_vision_cache_speeds_up_vlm(self):
+        model = get_model("llava-onevision-7b")
+        tputs = {}
+        for system in ("vllm", "jenga"):
+            _, m = run(
+                model, H100, system, mmmu_pro(12, model, seed=1),
+                kv=8 * GIB, caching=False, max_num_batched_tokens=1024,
+            )
+            tputs[system] = m.request_throughput()
+        # Figure 18: 1.88x throughput from encoding each image once.
+        assert tputs["jenga"] > 1.15 * tputs["vllm"]
+
+
+class TestSec32Waste:
+    def test_mllama_waste_on_mmmu(self):
+        model = get_model("llama3.2-vision-11b")
+        mgr = make_manager("vllm", model, 4 * GIB, enable_prefix_caching=False)
+        eng = LLMEngine(model, H100, mgr)
+        eng.add_requests(mmmu_pro(1, model, seed=0))
+        for _ in range(3):
+            eng.step()
+        req = eng.running[0]
+        used = mgr.stats().used_bytes
+        ideal = ideal_resident_bytes(model.kv_groups(), req.seq, req.num_computed_tokens)
+        assert 1 - ideal / used > 0.7  # paper: 79.6%
+
+
+class TestLatencyShape:
+    def test_low_rate_latency_parity(self):
+        """Figure 14: at low request rates Jenga and vLLM latencies match."""
+        from repro.workloads import poisson_arrivals
+
+        model = get_model("llama3.2-vision-11b")
+        lat = {}
+        for system in ("vllm", "jenga"):
+            reqs = poisson_arrivals(mmmu_pro(10, model, seed=2), rate=0.05, seed=3)
+            _, m = run(model, H100, system, reqs, kv=20 * GIB, caching=False)
+            lat[system] = m.mean_e2el()
+        assert lat["jenga"] == pytest.approx(lat["vllm"], rel=0.1)

@@ -1,0 +1,388 @@
+"""Tests for the Jenga KV-cache manager (request lifecycle, hits, waste)."""
+
+import pytest
+
+from repro.core.kv_manager import (
+    JengaKVCacheManager,
+    ideal_resident_bytes,
+    policy_pages_to_write,
+)
+from repro.core.layer_policy import (
+    FULL_ATTENTION,
+    GroupSpec,
+    MAMBA,
+    SLIDING_WINDOW,
+    VISION_EMBEDDING,
+    make_policy,
+)
+from repro.core.sequence import IMAGE, TEXT, SequenceSpec
+
+T = frozenset({TEXT})
+I = frozenset({IMAGE})
+
+
+def text_specs(tpp=4, window=8):
+    return {
+        "full": GroupSpec("full", FULL_ATTENTION, 2, 64, tokens_per_page=tpp, accepted_tags=T),
+        "win": GroupSpec("win", SLIDING_WINDOW, 2, 64, tokens_per_page=tpp, window=window, accepted_tags=T),
+    }
+
+
+def make_manager(total=64 * 4 * 64, caching=True, specs=None):
+    return JengaKVCacheManager(specs or text_specs(), total, enable_prefix_caching=caching)
+
+
+def run_request(mgr, seq, now=1.0, chunk=None):
+    """Prefill the whole sequence (phase="prefill", as the engine does
+    while a request is still computing its prompt)."""
+    hit = mgr.begin_request(seq)
+    pos = hit
+    chunk = chunk or len(seq)
+    while pos < len(seq):
+        target = min(len(seq), pos + chunk)
+        assert mgr.allocate_up_to(seq, target)
+        mgr.commit(seq, target, now=now, phase="prefill")
+        pos = target
+        now += 1.0
+    return hit
+
+
+class TestLifecycle:
+    def test_basic_alloc_commit_release(self):
+        mgr = make_manager()
+        seq = SequenceSpec.text_only("r1", list(range(20)))
+        assert run_request(mgr, seq) == 0
+        stats = mgr.stats()
+        assert stats.used_bytes_by_group["full"] == 5 * 256
+        assert stats.used_bytes_by_group["win"] == 2 * 256  # window 8 = 2 pages
+        mgr.release(seq)
+        assert mgr.stats().used_bytes == 0
+        mgr.allocator.check_invariants()
+
+    def test_double_begin_raises(self):
+        mgr = make_manager()
+        seq = SequenceSpec.text_only("r1", [1, 2, 3])
+        mgr.begin_request(seq)
+        with pytest.raises(ValueError):
+            mgr.begin_request(seq)
+
+    def test_commit_requires_registration(self):
+        mgr = make_manager()
+        seq = SequenceSpec.text_only("ghost", [1])
+        with pytest.raises(KeyError):
+            mgr.commit(seq, 1, now=0.0)
+
+    def test_release_unknown_is_noop(self):
+        mgr = make_manager()
+        mgr.release(SequenceSpec.text_only("ghost", [1]))
+
+    def test_decode_growth(self):
+        mgr = make_manager()
+        seq = SequenceSpec.text_only("r1", list(range(8)))
+        run_request(mgr, seq)
+        for i in range(10):
+            seq.append(100 + i)
+            assert mgr.allocate_up_to(seq, len(seq))
+            mgr.commit(seq, len(seq), now=10.0 + i)
+        # 18 tokens: full group holds ceil(18/4)=5 pages.
+        assert mgr.stats().used_bytes_by_group["full"] == 5 * 256
+        mgr.allocator.check_invariants()
+
+    def test_out_of_window_pages_demoted_during_run(self):
+        mgr = make_manager()
+        seq = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq)
+        stats = mgr.stats()
+        # Window 8 -> 2 used pages; the 8 earlier pages drop to the
+        # evict-first cache class (biased stamps).
+        assert stats.used_bytes_by_group["win"] == 2 * 256
+        assert stats.evictable_bytes_by_group["win"] == 8 * 256
+        win = mgr.allocator.groups["win"]
+        biased = [p for p in win.pages.values() if p.is_evictable]
+        assert all(p.last_access < -1e12 for p in biased)
+
+    def test_release_without_caching_frees_everything(self):
+        mgr = make_manager(caching=False)
+        seq = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq)
+        # Out-of-window pages free outright when caching is off.
+        assert mgr.stats().evictable_bytes == 0
+        mgr.release(seq)
+        stats = mgr.stats()
+        assert stats.used_bytes == 0 and stats.evictable_bytes == 0
+
+
+class TestPrefixHits:
+    def test_full_prefix_hit(self):
+        mgr = make_manager()
+        seq1 = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq1, now=1.0)
+        mgr.release(seq1)
+        seq2 = SequenceSpec.text_only("r2", list(range(40)) + [99, 98, 97])
+        hit = mgr.begin_request(seq2)
+        assert hit == 40
+        assert mgr.allocate_up_to(seq2, len(seq2))
+        mgr.commit(seq2, len(seq2), now=5.0)
+        mgr.release(seq2)
+        mgr.allocator.check_invariants()
+
+    def test_hit_capped_below_full_sequence(self):
+        mgr = make_manager()
+        seq1 = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq1)
+        mgr.release(seq1)
+        seq2 = SequenceSpec.text_only("r2", list(range(40)))
+        assert mgr.begin_request(seq2) < 40
+
+    def test_no_hit_when_disabled(self):
+        mgr = make_manager(caching=False)
+        seq1 = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq1)
+        mgr.release(seq1)
+        seq2 = SequenceSpec.text_only("r2", list(range(40)) + [1])
+        assert mgr.begin_request(seq2) == 0
+
+    def test_divergent_content_no_hit(self):
+        mgr = make_manager()
+        seq1 = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq1)
+        mgr.release(seq1)
+        seq2 = SequenceSpec.text_only("r2", [999] + list(range(39)) + [1])
+        assert mgr.begin_request(seq2) == 0
+
+    def test_window_rule_constrains_model_hit(self):
+        # Evict the trailing window blocks of the window group and verify
+        # the model-wide hit shrinks accordingly.
+        mgr = make_manager()
+        seq1 = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq1, now=1.0)
+        mgr.release(seq1)
+        win = mgr.allocator.groups["win"]
+        # Evict every window-group page (in-window ones carry latest
+        # stamps; evict all to be sure).
+        while len(win.evictor):
+            page = win.pages[win.evictor.evict()]
+            win.evictor.add(page.page_id, page.last_access)  # restore key
+            break
+        # Simpler: drop the whole window cache through the public path.
+        for page_id in list(win.evictor.items_in_order()):
+            page = win.pages[page_id]
+            win.evictor.remove(page_id)
+            win.cache_index.remove(page.block_hash, page_id)
+            page.block_hash = None
+            page.reset()
+        seq2 = SequenceSpec.text_only("r2", list(range(40)) + [1])
+        # Full group alone cannot grant a hit: window layers lost their
+        # trailing blocks.
+        assert mgr.begin_request(seq2) == 0
+
+    def test_hit_rate_accounting(self):
+        mgr = make_manager()
+        seq1 = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq1)
+        mgr.release(seq1)
+        seq2 = SequenceSpec.text_only("r2", list(range(40)) + [7])
+        run_request(mgr, seq2)
+        assert mgr.prefix_hit_rate == pytest.approx(40 / 81)
+
+    def test_preempted_request_rehits_its_own_cache(self):
+        # Full-attention groups re-hit a preempted request's whole cache.
+        # (Window groups cannot: only their trailing window stays cached,
+        # and the hit cap of len-1 forces a shorter -- uncacheable --
+        # prefix, so window models recompute after preemption, matching
+        # the upstream implementation.)
+        specs = {
+            "full": GroupSpec("full", FULL_ATTENTION, 2, 64, tokens_per_page=4,
+                              accepted_tags=T),
+        }
+        mgr = make_manager(specs=specs)
+        seq = SequenceSpec.text_only("r1", list(range(40)))
+        run_request(mgr, seq, now=1.0)
+        mgr.release(seq, cacheable=True)  # preemption keeps cache
+        hit = mgr.begin_request(seq)
+        assert hit == 36
+
+
+class TestMambaManager:
+    def specs(self):
+        return {
+            "attn": GroupSpec("attn", FULL_ATTENTION, 1, 64, tokens_per_page=4, accepted_tags=T),
+            "mamba": GroupSpec(
+                "mamba", MAMBA, 3, 0, accepted_tags=T, state_bytes=768, checkpoint_interval=8
+            ),
+        }
+
+    def test_mamba_checkpoints_cached(self):
+        mgr = JengaKVCacheManager(self.specs(), 768 * 64)
+        seq = SequenceSpec.text_only("r1", list(range(20)))
+        run_request(mgr, seq, now=1.0)
+        group = mgr.allocator.groups["mamba"]
+        # Checkpoints at 8 and 16 went straight to evictable cache.
+        assert group.n_evictable == 2
+        assert group.n_used == 1  # working state
+        mgr.release(seq)
+        assert group.n_used == 0
+        mgr.allocator.check_invariants()
+
+    def test_mamba_hit_at_checkpoint(self):
+        mgr = JengaKVCacheManager(self.specs(), 768 * 64)
+        seq1 = SequenceSpec.text_only("r1", list(range(20)))
+        run_request(mgr, seq1)
+        mgr.release(seq1)
+        seq2 = SequenceSpec.text_only("r2", list(range(20)) + [55])
+        hit = mgr.begin_request(seq2)
+        assert hit == 16  # largest multiple of the checkpoint interval
+        assert mgr.allocate_up_to(seq2, len(seq2))
+        mgr.commit(seq2, len(seq2), now=9.0)
+        # A fresh working state was allocated despite the hit.
+        assert mgr.allocator.groups["mamba"].n_used == 1
+
+    def test_mamba_without_caching_single_state(self):
+        mgr = JengaKVCacheManager(self.specs(), 768 * 64, enable_prefix_caching=False)
+        seq = SequenceSpec.text_only("r1", list(range(64)))
+        run_request(mgr, seq)
+        assert mgr.allocator.groups["mamba"].n_used == 1
+        assert mgr.allocator.groups["mamba"].n_evictable == 0
+
+
+class TestVisionManager:
+    def specs(self):
+        return {
+            "self": GroupSpec("self", FULL_ATTENTION, 2, 64, tokens_per_page=4),
+            "vis": GroupSpec("vis", VISION_EMBEDDING, 1, 32, tokens_per_page=4, accepted_tags=I),
+        }
+
+    def seq(self):
+        return SequenceSpec.multimodal(
+            "v1", [(TEXT, [1, 2]), (IMAGE, list(range(10, 26))), (TEXT, [3, 4])]
+        )
+
+    def test_allocate_vision_covers_all_images(self):
+        mgr = JengaKVCacheManager(self.specs(), 768 * 64)
+        seq = self.seq()
+        mgr.begin_request(seq)
+        assert mgr.allocate_vision(seq)
+        assert mgr.allocator.groups["vis"].n_used == 4  # 16 image tokens / 4
+
+    def test_consume_vision_frees_pages(self):
+        mgr = JengaKVCacheManager(self.specs(), 768 * 64)
+        seq = self.seq()
+        mgr.begin_request(seq)
+        mgr.allocate_vision(seq)
+        assert mgr.allocate_up_to(seq, 10)
+        mgr.commit(seq, 10, now=1.0)
+        mgr.consume_vision(seq, 10)  # 8 image tokens consumed -> 2 pages
+        assert mgr.allocator.groups["vis"].n_used == 2
+        mgr.release(seq)
+        mgr.allocator.check_invariants()
+
+    def test_has_vision_cache(self):
+        mgr = JengaKVCacheManager(self.specs(), 768 * 64)
+        assert mgr.has_vision_cache
+        mgr2 = make_manager()
+        assert not mgr2.has_vision_cache
+
+
+class TestCapacityProbes:
+    def test_allocation_failure_rolls_back(self):
+        mgr = make_manager(total=768 * 2)  # tiny pool
+        seq = SequenceSpec.text_only("big", list(range(400)))
+        mgr.begin_request(seq)
+        used_before = mgr.stats().used_bytes
+        assert not mgr.allocate_up_to(seq, 400)
+        assert mgr.stats().used_bytes == used_before
+        mgr.allocator.check_invariants()
+
+    def test_can_admit_small_vs_large(self):
+        mgr = make_manager(total=768 * 4)
+        small = SequenceSpec.text_only("s", list(range(8)))
+        huge = SequenceSpec.text_only("h", list(range(10_000)))
+        assert mgr.can_admit(small)
+        assert not mgr.can_admit(huge)
+
+    def test_can_admit_window_ignores_out_of_window(self):
+        # A long prompt on a window-dominated model admits even though the
+        # full prompt would not fit as full-attention KV.
+        specs = {
+            "win": GroupSpec("win", SLIDING_WINDOW, 2, 64, tokens_per_page=4, window=8, accepted_tags=T),
+        }
+        mgr = JengaKVCacheManager(specs, 256 * 40)
+        seq = SequenceSpec.text_only("r", list(range(600)))
+        assert mgr.can_admit(seq, chunk_tokens=32)
+
+    def test_pages_needed(self):
+        mgr = make_manager()
+        seq = SequenceSpec.text_only("r", list(range(20)))
+        mgr.begin_request(seq)
+        needed = mgr.pages_needed(seq, 20)
+        assert needed == {"full": 5, "win": 5}
+
+    def test_ideal_resident_bytes(self):
+        specs = text_specs()
+        seq = SequenceSpec.text_only("r", list(range(40)))
+        ideal = ideal_resident_bytes(specs, seq, 40)
+        # full: 40 tokens x 64 B; win: 8 tokens x 64 B.
+        assert ideal == 40 * 64 + 8 * 64
+
+
+class TestPagesToWrite:
+    def test_attention_blocks(self):
+        policy = make_policy(text_specs()["full"])
+        assert policy_pages_to_write(policy, 0, 10) == [0, 1, 2]
+        assert policy_pages_to_write(policy, 10, 12) == [2]
+        assert policy_pages_to_write(policy, 12, 13) == [3]
+        assert policy_pages_to_write(policy, 5, 5) == []
+
+    def test_mamba_writes(self):
+        spec = GroupSpec("m", MAMBA, 1, 0, state_bytes=64, checkpoint_interval=8, accepted_tags=T)
+        policy = make_policy(spec)
+        assert policy_pages_to_write(policy, 0, 5) == [0]
+        assert policy_pages_to_write(policy, 5, 20) == [1, 2]
+        assert policy_pages_to_write(policy, 20, 21) == []
+
+
+class TestStampingEquivalence:
+    def test_release_time_stamps_match_interface_protocol(self):
+        """The optimized release-time stamping must leave the same eviction
+        metadata as literally calling update_last_access/set_prefix_length
+        every step (the paper's Figure 10 protocol)."""
+        mgr = make_manager()
+        seq = SequenceSpec.text_only("r1", list(range(16)))
+        mgr.begin_request(seq)
+        times = []
+        for step, target in enumerate((8, 12, 16)):
+            now = float(step + 1)
+            assert mgr.allocate_up_to(seq, target)
+            mgr.commit(seq, target, now=now, phase="prefill")
+            times.append(now)
+        mgr.release(seq)
+        # Reference: simulate the interface protocol by hand.
+        full_spec = text_specs()["full"]
+        win_spec = text_specs()["win"]
+        ref_full = {}
+        ref_win = {}
+        for step, target in enumerate((8, 12, 16)):
+            now = float(step + 1)
+            for idx in range((target + 3) // 4):
+                ref_full[idx] = now  # full attention touches everything
+            lo = max(0, target - 8) // 4
+            for idx in range(lo, (target + 3) // 4):
+                ref_win[idx] = now  # window touches in-window pages
+        full_group = mgr.allocator.groups["full"]
+        win_group = mgr.allocator.groups["win"]
+        for page in full_group.pages.values():
+            if page.is_evictable:
+                idx = int(page.prefix_length // 4) - 1
+                assert page.last_access == ref_full[idx]
+        # Window group: pages that slid out of the window sit in the
+        # biased (evict-first) class; pages still in the final window carry
+        # the final access stamp.
+        evictable_win = [p for p in win_group.pages.values() if p.is_evictable]
+        assert evictable_win
+        final_window_start = (16 - 8) // 4  # block index of the last window
+        for page in evictable_win:
+            idx = int(page.prefix_length // 4) - 1
+            if idx < final_window_start:
+                assert page.last_access < -1e12  # evict-first class
+            else:
+                assert abs(page.last_access - ref_win[idx]) <= 1.0

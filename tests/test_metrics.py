@@ -1,0 +1,92 @@
+"""Tests for metric aggregation."""
+
+import pytest
+
+from repro.engine.metrics import (
+    EngineMetrics,
+    MemorySnapshot,
+    RequestMetrics,
+    StepRecord,
+)
+
+
+def req(rid="r", arrival=0.0, first=1.0, finish=5.0, prompt=10, out=5, cached=0):
+    return RequestMetrics(
+        request_id=rid,
+        arrival_time=arrival,
+        first_token_time=first,
+        finish_time=finish,
+        prompt_len=prompt,
+        output_len=out,
+        cached_prompt_tokens=cached,
+        num_preemptions=0,
+    )
+
+
+def step(i=0, start=0.0, dur=1.0, decode=2, prefill=0):
+    return StepRecord(
+        index=i, start_time=start, duration=dur, decode_batch=decode,
+        prefill_tokens=prefill, num_running=decode, num_waiting=0,
+        num_preemptions=0,
+    )
+
+
+class TestRequestMetrics:
+    def test_ttft_e2el(self):
+        r = req(arrival=2.0, first=3.5, finish=10.0)
+        assert r.ttft == 1.5
+        assert r.e2el == 8.0
+
+    def test_tpot(self):
+        r = req(first=1.0, finish=9.0, out=5)
+        assert r.tpot == 2.0
+
+    def test_tpot_single_token(self):
+        assert req(out=1).tpot == 0.0
+
+
+class TestEngineMetrics:
+    def test_empty(self):
+        m = EngineMetrics()
+        assert m.makespan == 0.0
+        assert m.token_throughput() == 0.0
+        assert m.mean_ttft() == 0.0
+        assert m.mean_decode_batch() == 0.0
+
+    def test_makespan(self):
+        m = EngineMetrics(steps=[step(0, 0.0, 1.0), step(1, 1.0, 2.5)])
+        assert m.makespan == 3.5
+
+    def test_throughputs(self):
+        m = EngineMetrics(
+            steps=[step(0, 0.0, 10.0)],
+            requests=[req(prompt=10, out=5), req(prompt=20, out=5)],
+        )
+        assert m.total_output_tokens == 10
+        assert m.output_throughput() == 1.0
+        assert m.token_throughput() == 4.0
+        assert m.request_throughput() == 0.2
+
+    def test_mean_decode_batch_ignores_prefill_only_steps(self):
+        m = EngineMetrics(steps=[step(decode=4), step(decode=0, prefill=100), step(decode=6)])
+        assert m.mean_decode_batch() == 5.0
+        assert m.decode_batch_timeline() == [4, 0, 6]
+
+    def test_latency_means(self):
+        m = EngineMetrics(requests=[req(first=1.0, finish=5.0), req(first=3.0, finish=7.0)])
+        assert m.mean_ttft() == 2.0
+        assert m.mean_e2el() == 6.0
+
+    def test_p99(self):
+        rs = [req(first=float(i)) for i in range(100)]
+        m = EngineMetrics(requests=rs)
+        assert m.p99_ttft() == 99.0
+
+
+class TestMemorySnapshot:
+    def test_used_bytes(self):
+        snap = MemorySnapshot(
+            used_by_group={"a": 10, "b": 20}, evictable_bytes=5, waste_bytes=1,
+            free_bytes=64,
+        )
+        assert snap.used_bytes == 30

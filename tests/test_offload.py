@@ -1,0 +1,160 @@
+"""Tests for the host-memory KV offloading extension (Section 8)."""
+
+import pytest
+
+from repro.core.kv_manager import JengaKVCacheManager
+from repro.core.layer_policy import FULL_ATTENTION, GroupSpec
+from repro.core.offload import HostMemoryPool, OffloadConfig
+from repro.core.sequence import TEXT, SequenceSpec
+
+T = frozenset({TEXT})
+
+
+def specs():
+    return {
+        "full": GroupSpec("full", FULL_ATTENTION, 2, 64, tokens_per_page=4,
+                          accepted_tags=T),
+    }
+
+
+def make_manager(total_pages=8, host_pages=64):
+    # Page = 256 B; tiny GPU cache, roomy host pool.
+    return JengaKVCacheManager(
+        specs(),
+        256 * total_pages,
+        enable_prefix_caching=True,
+        offload=OffloadConfig(capacity_bytes=256 * host_pages),
+    )
+
+
+def run_request(mgr, seq, now=1.0):
+    hit = mgr.begin_request(seq)
+    assert mgr.allocate_up_to(seq, len(seq))
+    mgr.commit(seq, len(seq), now=now, phase="prefill")
+    return hit
+
+
+class TestHostMemoryPool:
+    def test_offload_and_onload(self):
+        pool = HostMemoryPool(OffloadConfig(capacity_bytes=1024))
+        assert pool.offload(1, "g", 256)
+        assert 1 in pool
+        assert pool.onload(1) == 256
+        assert 1 in pool  # onload keeps the host copy
+        assert pool.stats.onloaded_bytes == 256
+
+    def test_capacity_enforced_lru(self):
+        pool = HostMemoryPool(OffloadConfig(capacity_bytes=512))
+        pool.offload(1, "g", 256)
+        pool.offload(2, "g", 256)
+        pool.offload(3, "g", 256)  # evicts hash 1
+        assert 1 not in pool and 2 in pool and 3 in pool
+        assert pool.stats.host_evictions == 1
+
+    def test_onload_refreshes_lru(self):
+        pool = HostMemoryPool(OffloadConfig(capacity_bytes=512))
+        pool.offload(1, "g", 256)
+        pool.offload(2, "g", 256)
+        pool.onload(1)  # hash 2 is now LRU
+        pool.offload(3, "g", 256)
+        assert 1 in pool and 2 not in pool
+
+    def test_oversized_rejected(self):
+        pool = HostMemoryPool(OffloadConfig(capacity_bytes=100))
+        assert not pool.offload(1, "g", 256)
+
+    def test_duplicate_offload_is_refresh(self):
+        pool = HostMemoryPool(OffloadConfig(capacity_bytes=1024))
+        pool.offload(1, "g", 256)
+        pool.offload(1, "g", 256)
+        assert pool.used_bytes == 256
+        assert pool.stats.offloaded_blocks == 1
+
+    def test_transfer_seconds(self):
+        pool = HostMemoryPool(OffloadConfig(capacity_bytes=1024, pcie_bandwidth=1e9))
+        assert pool.transfer_seconds(1e9) == pytest.approx(1.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OffloadConfig(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            OffloadConfig(capacity_bytes=1, pcie_bandwidth=0)
+
+
+class TestOffloadIntegration:
+    def test_evicted_blocks_spill_to_host(self):
+        mgr = make_manager(total_pages=8)
+        # Request A fills and caches the whole tiny GPU pool.
+        a = SequenceSpec.text_only("a", list(range(32)))
+        run_request(mgr, a)
+        mgr.release(a)
+        # Request B's allocation evicts A's blocks -> they spill to host.
+        b = SequenceSpec.text_only("b", list(range(100, 132)))
+        run_request(mgr, b)
+        assert len(mgr.host_pool) > 0
+        assert mgr.host_pool.stats.offloaded_blocks > 0
+
+    def test_onload_instead_of_recompute(self):
+        mgr = make_manager(total_pages=8)
+        a = SequenceSpec.text_only("a", list(range(32)))
+        run_request(mgr, a)
+        mgr.release(a)
+        b = SequenceSpec.text_only("b", list(range(100, 132)))
+        run_request(mgr, b)
+        mgr.release(b)
+        # A's prefix is gone from GPU but lives in the host pool.
+        a2 = SequenceSpec.text_only("a2", list(range(32)) + [999])
+        hit = mgr.begin_request(a2)
+        assert hit == 32
+        debt = mgr.take_onload_bytes("a2")
+        assert debt > 0
+        assert mgr.take_onload_bytes("a2") == 0  # drained
+
+    def test_no_offload_without_config(self):
+        mgr = JengaKVCacheManager(specs(), 256 * 8, enable_prefix_caching=True)
+        assert mgr.host_pool is None
+
+    def test_gpu_hits_have_no_transfer_debt(self):
+        mgr = make_manager(total_pages=32)
+        a = SequenceSpec.text_only("a", list(range(32)))
+        run_request(mgr, a)
+        mgr.release(a)
+        a2 = SequenceSpec.text_only("a2", list(range(32)) + [999])
+        hit = mgr.begin_request(a2)
+        assert hit == 32
+        assert mgr.take_onload_bytes("a2") == 0
+
+    def test_engine_charges_pcie_time(self):
+        from repro.engine import LLMEngine, Request
+        from repro.models import get_model
+        from repro.platforms import H100
+        from repro.workloads import token_block
+
+        model = get_model("llama3-8b")
+        prompt_a = token_block(0, "off-a", 0, 2000)
+        prompt_b = token_block(0, "off-b", 0, 2000)
+        for offload in (None, OffloadConfig(capacity_bytes=2**30)):
+            mgr = JengaKVCacheManager(
+                model.kv_groups(), 320 * 2**20, enable_prefix_caching=True,
+                offload=offload,
+            )
+            eng = LLMEngine(model, H100, mgr)
+            # The ~2.5k-token GPU pool holds one prompt's cache at a time:
+            # r2 (different content) evicts r1's blocks; r3 revisits r1's
+            # prefix, which only the host tier can still serve.
+            eng.add_request(Request.text("r1", prompt_a + [1], 4, arrival_time=0.0))
+            eng.add_request(Request.text("r2", prompt_b + [2], 4, arrival_time=60.0))
+            eng.add_request(Request.text("r3", prompt_a + [3], 4, arrival_time=120.0))
+            m = eng.run()
+            r3 = next(r for r in m.requests if r.request_id == "r3")
+            if offload is None:
+                # Most of r1's cache was evicted to make room for r2; only
+                # the remainder the eviction didn't need survives.
+                assert r3.cached_prompt_tokens < 1000
+            else:
+                assert r3.cached_prompt_tokens >= 1984  # host-tier hit
+                assert mgr.host_pool.stats.onloaded_bytes > 0
+                # The onload was charged as PCIe time, not recompute: r3's
+                # TTFT beats r2's (which recomputed the same-length prompt).
+                r2 = next(r for r in m.requests if r.request_id == "r2")
+                assert r3.ttft < r2.ttft

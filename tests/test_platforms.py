@@ -1,0 +1,52 @@
+"""Tests for GPU envelopes and the memory-budget split."""
+
+import pytest
+
+from repro.models import GIB, get_model
+from repro.platforms import H100, L4, kv_budget
+from repro.platforms.gpu import OutOfMemoryError
+
+
+class TestEnvelopes:
+    def test_h100_capacity(self):
+        assert H100.memory_bytes == 80 * GIB
+        assert H100.usable_bytes() == int(80 * GIB * 0.9)
+
+    def test_l4_is_smaller_and_slower(self):
+        assert L4.memory_bytes < H100.memory_bytes
+        assert L4.flops < H100.flops
+        assert L4.hbm_bandwidth < H100.hbm_bandwidth
+
+
+class TestKVBudget:
+    def test_llama8b_on_h100(self):
+        budget = kv_budget(get_model("llama3-8b"), H100)
+        assert budget.kv_bytes > 40 * GIB
+        assert budget.weight_bytes == get_model("llama3-8b").weight_bytes
+
+    def test_jamba_oom_on_l4(self):
+        # Table 1: Jamba 52B does not fit on L4 even with FP8.
+        with pytest.raises(OutOfMemoryError):
+            kv_budget(get_model("jamba-52b", quantized=True), L4)
+
+    def test_fp8_frees_memory(self):
+        fp16 = kv_budget(get_model("llama3-8b"), H100)
+        fp8 = kv_budget(get_model("llama3-8b", quantized=True), H100)
+        assert fp8.kv_bytes > fp16.kv_bytes
+
+    def test_extra_models_share_budget(self):
+        target = get_model("llama3-8b")
+        draft = get_model("llama3.2-1b")
+        alone = kv_budget(target, H100)
+        together = kv_budget(target, H100, extra_models=(draft,))
+        assert together.kv_bytes < alone.kv_bytes
+        assert together.weight_bytes == target.weight_bytes + draft.weight_bytes
+
+    def test_70b_fp16_does_not_fit_h100(self):
+        with pytest.raises(OutOfMemoryError):
+            kv_budget(get_model("llama3-70b"), H100)
+
+    def test_70b_fp8_fits_h100(self):
+        # Table 1 serves the 70B models with FP8 on H100.
+        budget = kv_budget(get_model("llama3-70b", quantized=True), H100)
+        assert budget.kv_bytes > 0

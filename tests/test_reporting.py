@@ -1,0 +1,83 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.reporting import Table, fmt_bytes, fmt_ratio, sparkline
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add("a", 1.5)
+        t.add("longer", 22)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.50" in out and "22" in out
+
+    def test_wrong_arity(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+
+class TestFormatters:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3 * 1024**3) == "3.0 GiB"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(3, 2) == "1.50x"
+        assert fmt_ratio(1, 0) == "n/a"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_downsampling(self):
+        s = sparkline(list(range(1000)), width=50)
+        assert len(s) == 50
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(s) == 3
+
+
+class TestLinePlot:
+    def test_empty(self):
+        from repro.reporting import line_plot
+
+        assert line_plot({}) == "(no data)"
+        assert line_plot({}, title="t") == "t"
+
+    def test_renders_markers_and_legend(self):
+        from repro.reporting import line_plot
+
+        out = line_plot(
+            {"vllm": [(0, 1), (1, 2), (2, 4)], "jenga": [(0, 1), (1, 1.5), (2, 2)]},
+            width=40, height=10, title="demo",
+        )
+        assert "demo" in out
+        assert "o = vllm" in out and "x = jenga" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        from repro.reporting import line_plot
+
+        out = line_plot({"s": [(0, 0), (5, 10)]}, x_label="rate", y_label="ttft")
+        assert "x: rate" in out and "y: ttft" in out
+        assert "10" in out and "0" in out
+
+    def test_constant_series(self):
+        from repro.reporting import line_plot
+
+        out = line_plot({"s": [(0, 3), (1, 3), (2, 3)]})
+        assert "o = s" in out
