@@ -36,12 +36,20 @@ from .baselines import (
     make_manager,
 )
 from .core import (
+    EventBus,
     GroupSpec,
     JengaKVCacheManager,
+    KVCacheManager,
+    KVCacheManagerBase,
     LCMAllocator,
     OffloadConfig,
     SequenceSpec,
     TwoLevelAllocator,
+    UnknownManagerError,
+    available_managers,
+    create_manager,
+    register_manager,
+    resolve_manager,
 )
 from .engine import (
     EngineMetrics,
@@ -61,11 +69,14 @@ __version__ = "1.0.0"
 __all__ = [
     "DualManager",
     "EngineMetrics",
+    "EventBus",
     "GCDPageManager",
     "GPU",
     "GroupSpec",
     "H100",
     "JengaKVCacheManager",
+    "KVCacheManager",
+    "KVCacheManagerBase",
     "L4",
     "LCMAllocator",
     "LLMEngine",
@@ -79,12 +90,17 @@ __all__ = [
     "SequenceSpec",
     "SpecDecodeEngine",
     "TwoLevelAllocator",
+    "UnknownManagerError",
     "VAttentionManager",
+    "available_managers",
+    "create_manager",
     "get_model",
     "kv_budget",
     "list_models",
     "make_manager",
     "make_spec_manager",
     "profile_config",
+    "register_manager",
+    "resolve_manager",
     "__version__",
 ]

@@ -1,17 +1,18 @@
 """Baseline memory managers the paper compares Jenga against.
 
-All baselines expose the same interface as
-:class:`~repro.core.kv_manager.JengaKVCacheManager`, so experiments swap
-only the manager (the paper's methodology: "we use vLLM v0.6.3 and only
-change the memory management system").
+All baselines satisfy the :class:`~repro.core.protocols.KVCacheManager`
+protocol, so experiments swap only the manager (the paper's methodology:
+"we use vLLM v0.6.3 and only change the memory management system").
 
-Factory: :func:`make_manager` builds a manager by system name.
+Each system registers a factory in :mod:`repro.core.registry` at import
+time; :func:`make_manager` resolves through that registry.
 """
 
 from __future__ import annotations
 
 
 from ..core.kv_manager import JengaKVCacheManager
+from ..core.registry import available_managers, create_manager, register_manager
 from ..models.config import ModelSpec
 from .gcd_page import GCDPageManager
 from .manual_spec import DualManager, manual_spec_managers
@@ -31,7 +32,95 @@ __all__ = [
     "unified_group_specs",
 ]
 
-SYSTEMS = ("jenga", "vllm", "sglang", "tgi", "max", "gcd", "vattention")
+
+@register_manager("jenga")
+def _make_jenga(
+    model: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = True,
+    max_num_seqs: int = 256,
+    seed: int = 0,
+):
+    return JengaKVCacheManager(
+        model.kv_groups(tokens_per_page),
+        kv_bytes,
+        enable_prefix_caching=enable_prefix_caching,
+        seed=seed,
+    )
+
+
+def _make_paged(
+    model: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = True,
+    max_num_seqs: int = 256,
+    seed: int = 0,
+):
+    return PagedAttentionManager(
+        model,
+        kv_bytes,
+        tokens_per_page=tokens_per_page,
+        enable_prefix_caching=enable_prefix_caching,
+        max_num_seqs=max_num_seqs,
+        seed=seed,
+    )
+
+
+# vLLM, SGLang, and TGI share the homogeneous PagedAttention manager; their
+# scheduler differences live in :func:`repro.engine.scheduler.profile_config`.
+for _name in ("vllm", "sglang", "tgi"):
+    register_manager(_name)(_make_paged)
+
+
+@register_manager("max")
+def _make_max(
+    model: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = True,
+    max_num_seqs: int = 256,
+    seed: int = 0,
+):
+    return MaxPageManager(
+        model.kv_groups(tokens_per_page),
+        kv_bytes,
+        enable_prefix_caching=enable_prefix_caching,
+        seed=seed,
+    )
+
+
+@register_manager("gcd")
+def _make_gcd(
+    model: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = True,
+    max_num_seqs: int = 256,
+    seed: int = 0,
+):
+    return GCDPageManager(
+        model.kv_groups(tokens_per_page),
+        kv_bytes,
+        enable_prefix_caching=enable_prefix_caching,
+        seed=seed,
+    )
+
+
+@register_manager("vattention")
+def _make_vattention(
+    model: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = True,
+    max_num_seqs: int = 256,
+    seed: int = 0,
+):
+    return VAttentionManager(model, kv_bytes, max_num_seqs=max_num_seqs, seed=seed)
+
+
+SYSTEMS = tuple(available_managers("model"))
 
 
 def make_manager(
@@ -43,44 +132,20 @@ def make_manager(
     max_num_seqs: int = 256,
     seed: int = 0,
 ):
-    """Build a KV manager by system name.
+    """Build a KV manager by registered system name.
 
     ``jenga`` -- the paper's system; ``vllm``/``sglang``/``tgi`` -- the
-    homogeneous PagedAttention manager (these engines share it; their
-    scheduler differences live in
-    :func:`repro.engine.scheduler.profile_config`); ``max``/``gcd`` -- the
-    Section 4.4 compatibility-layer alternatives.
+    homogeneous PagedAttention manager; ``max``/``gcd`` -- the Section 4.4
+    compatibility-layer alternatives.  Raises
+    :class:`~repro.core.registry.UnknownManagerError` for anything else.
     """
-    if system == "jenga":
-        return JengaKVCacheManager(
-            model.kv_groups(tokens_per_page),
-            kv_bytes,
-            enable_prefix_caching=enable_prefix_caching,
-            seed=seed,
-        )
-    if system in ("vllm", "sglang", "tgi"):
-        return PagedAttentionManager(
-            model,
-            kv_bytes,
-            tokens_per_page=tokens_per_page,
-            enable_prefix_caching=enable_prefix_caching,
-            max_num_seqs=max_num_seqs,
-            seed=seed,
-        )
-    if system == "max":
-        return MaxPageManager(
-            model.kv_groups(tokens_per_page),
-            kv_bytes,
-            enable_prefix_caching=enable_prefix_caching,
-            seed=seed,
-        )
-    if system == "vattention":
-        return VAttentionManager(model, kv_bytes, max_num_seqs=max_num_seqs, seed=seed)
-    if system == "gcd":
-        return GCDPageManager(
-            model.kv_groups(tokens_per_page),
-            kv_bytes,
-            enable_prefix_caching=enable_prefix_caching,
-            seed=seed,
-        )
-    raise KeyError(f"unknown system {system!r}; available: {SYSTEMS}")
+    return create_manager(
+        system,
+        "model",
+        model,
+        kv_bytes,
+        tokens_per_page=tokens_per_page,
+        enable_prefix_caching=enable_prefix_caching,
+        max_num_seqs=max_num_seqs,
+        seed=seed,
+    )

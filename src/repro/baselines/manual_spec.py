@@ -11,8 +11,10 @@ split cannot shift capacity between the models as workloads change.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..core.events import EventBus
+from ..core.protocols import KVCacheManagerBase
 from ..core.sequence import SequenceSpec
 from ..core.two_level import AllocatorStats
 from ..models.config import ModelSpec
@@ -21,7 +23,7 @@ from .paged_attention import PagedAttentionManager
 __all__ = ["DualManager", "manual_spec_managers"]
 
 
-class DualManager:
+class DualManager(KVCacheManagerBase):
     """Two independent managers presented behind the single-manager API.
 
     Every request is registered with both sides; an operation succeeds only
@@ -32,10 +34,19 @@ class DualManager:
 
     name = "vllm-manual"
 
-    def __init__(self, managers: List) -> None:
+    def __init__(self, managers: List, events: Optional[EventBus] = None) -> None:
         if not managers:
             raise ValueError("DualManager needs at least one sub-manager")
+        super().__init__(events)
         self.managers = list(managers)
+        for manager in self.managers:
+            manager.bind_events(self.events)
+
+    def bind_events(self, events: EventBus) -> None:
+        """Adopt ``events`` on the composite and every sub-manager."""
+        self.events = events
+        for manager in self.managers:
+            manager.bind_events(events)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -113,10 +124,13 @@ class DualManager:
             slack_bytes=sum(p.slack_bytes for p in parts),
         )
 
+    def take_onload_bytes(self, request_id: str) -> int:
+        return sum(m.take_onload_bytes(request_id) for m in self.managers)
+
     @property
     def prefix_hit_rate(self) -> float:
-        rates = [getattr(m, "prefix_hit_rate", 0.0) for m in self.managers]
-        return min(rates) if rates else 0.0
+        # The model-wide hit is what *all* sides can serve.
+        return min(m.prefix_hit_rate for m in self.managers)
 
     @property
     def has_vision_cache(self) -> bool:
@@ -124,7 +138,7 @@ class DualManager:
 
     @property
     def kernel_slowdown(self) -> float:
-        return max(getattr(m, "kernel_slowdown", 1.0) for m in self.managers)
+        return max(m.kernel_slowdown for m in self.managers)
 
 
 def manual_spec_managers(

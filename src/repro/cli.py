@@ -26,6 +26,7 @@ from . import (
     make_manager,
     make_spec_manager,
 )
+from .core.registry import available_managers
 from .engine.scheduler import profile_config
 from .models import GIB
 from .reporting import Table
@@ -41,6 +42,23 @@ from .workloads import (
 GPUS = {"h100": H100, "l4": L4}
 
 WORKLOADS = ("mmlu", "sharegpt", "arxiv-long", "longdoc", "mmmu", "multiturn")
+
+
+def parse_systems(spec: str) -> List[str]:
+    """Split a ``--systems`` value and validate it against the registry."""
+    systems = [s.strip() for s in spec.split(",") if s.strip()]
+    registered = available_managers("model")
+    if not systems:
+        raise SystemExit(
+            f"--systems is empty; registered managers: {', '.join(registered)}"
+        )
+    unknown = [s for s in systems if s not in registered]
+    if unknown:
+        raise SystemExit(
+            f"unknown system(s) {', '.join(repr(s) for s in unknown)}; "
+            f"registered managers: {', '.join(registered)}"
+        )
+    return systems
 
 
 def build_workload(name: str, n: int, model, seed: int):
@@ -92,10 +110,10 @@ def cmd_throughput(args) -> int:
         title=f"{model.name} on {gpu.name}, {args.workload} x{args.requests}, "
               f"KV {kv / GIB:.1f} GiB",
     )
-    for system in args.systems.split(","):
+    for system in parse_systems(args.systems):
         import copy
 
-        manager = make_manager(system.strip(), model, kv,
+        manager = make_manager(system, model, kv,
                                enable_prefix_caching=not args.no_prefix_caching)
         engine = LLMEngine(model, gpu, manager, config=profile_config("vllm"))
         engine.add_requests(copy.deepcopy(requests))
@@ -118,12 +136,12 @@ def cmd_latency(args) -> int:
         ["system", "rate", "mean TTFT", "mean TPOT", "mean E2EL", "p99 TTFT"],
         title=f"{model.name} on {gpu.name}, Poisson {args.rate}/s",
     )
-    for system in args.systems.split(","):
+    for system in parse_systems(args.systems):
         requests = poisson_arrivals(
             build_workload(args.workload, args.requests, model, args.seed),
             rate=args.rate, seed=args.seed,
         )
-        manager = make_manager(system.strip(), model, kv)
+        manager = make_manager(system, model, kv)
         engine = LLMEngine(model, gpu, manager, config=profile_config("vllm"))
         engine.add_requests(requests)
         m = engine.run(max_steps=args.max_steps)
@@ -145,7 +163,7 @@ def cmd_specdecode(args) -> int:
         ["system", "output tok/s", "decode batch"],
         title=f"spec decode: {target.name} + {draft.name} on {gpu.name}",
     )
-    for system in ("vllm-max", "vllm-manual", "jenga"):
+    for system in available_managers("spec"):
         import copy
 
         manager = make_spec_manager(system, draft, target, kv)

@@ -3,6 +3,23 @@
 Public entry point: :class:`~repro.core.kv_manager.JengaKVCacheManager`.
 """
 
+from .events import (
+    ALLOCATION_STEPS,
+    Event,
+    EventBus,
+    LargePageCarved,
+    PageAllocated,
+    PageEvicted,
+    PageEvictedToHost,
+    PageReleased,
+    PrefixHit,
+    RequestAdmitted,
+    RequestFailed,
+    RequestFinished,
+    RequestPreempted,
+    RequestQueued,
+    StepCompleted,
+)
 from .evictor import LRUEvictor
 from .kv_manager import GroupBinding, JengaKVCacheManager
 from .layer_policy import (
@@ -27,16 +44,27 @@ from .math_utils import compatible_page_bytes, gcd_of, lcm_blowup, lcm_of
 from .offload import HostMemoryPool, OffloadConfig, OffloadStats
 from .pages import LargePage, PageState, PhysicalExtent, SmallPage
 from .prefix_cache import CachedBlockIndex, chain_hashes, longest_common_prefix
+from .protocols import KVCacheManager, KVCacheManagerBase
+from .registry import (
+    UnknownManagerError,
+    available_managers,
+    create_manager,
+    register_manager,
+    resolve_manager,
+)
 from .sequence import IMAGE, TEXT, SequenceSpec
 from .two_level import AllocatorStats, TwoLevelAllocator
 
 __all__ = [
+    "ALLOCATION_STEPS",
     "AllocatorStats",
     "CachedBlockIndex",
     "CROSS_ATTENTION",
     "CrossAttentionPolicy",
     "DROPPED_TOKEN",
     "DroppedTokenPolicy",
+    "Event",
+    "EventBus",
     "FULL_ATTENTION",
     "FullAttentionPolicy",
     "GroupBinding",
@@ -44,7 +72,10 @@ __all__ = [
     "HostMemoryPool",
     "IMAGE",
     "JengaKVCacheManager",
+    "KVCacheManager",
+    "KVCacheManagerBase",
     "LargePage",
+    "LargePageCarved",
     "LayerTypePolicy",
     "LCMAllocator",
     "LRUEvictor",
@@ -53,21 +84,37 @@ __all__ = [
     "OffloadConfig",
     "OffloadStats",
     "OutOfLargePagesError",
+    "PageAllocated",
+    "PageEvicted",
+    "PageEvictedToHost",
+    "PageReleased",
     "PageState",
     "PhysicalExtent",
+    "PrefixHit",
+    "RequestAdmitted",
+    "RequestFailed",
+    "RequestFinished",
+    "RequestPreempted",
+    "RequestQueued",
     "SequenceSpec",
     "SLIDING_WINDOW",
     "SlidingWindowPolicy",
     "SmallPage",
+    "StepCompleted",
     "TEXT",
     "TwoLevelAllocator",
+    "UnknownManagerError",
     "VISION_EMBEDDING",
     "VisionEmbeddingPolicy",
+    "available_managers",
     "chain_hashes",
     "compatible_page_bytes",
+    "create_manager",
     "gcd_of",
     "lcm_blowup",
     "lcm_of",
     "longest_common_prefix",
     "make_policy",
+    "register_manager",
+    "resolve_manager",
 ]

@@ -1,0 +1,252 @@
+"""Structured allocation-event bus threaded through the serving stack.
+
+Every layer of the system -- :class:`~repro.engine.engine.LLMEngine`, the
+scheduler's waiting queue, :class:`~repro.core.kv_manager.JengaKVCacheManager`,
+:class:`~repro.core.two_level.TwoLevelAllocator`, and the evictors -- emits
+typed records onto one shared :class:`EventBus`.  The bus makes every
+five-step allocation decision (Section 5.4) and every eviction (Section 5)
+observable without print-debugging:
+
+* the allocator emits :class:`PageAllocated` tagged with the §5.4 step
+  (1-5) that satisfied it, :class:`LargePageCarved` when a large page is
+  carved from the LCM pool, :class:`PageEvicted` for small- and large-page
+  evictions, and :class:`PageReleased` when a request's last reference
+  drops;
+* the KV manager emits :class:`PrefixHit` per prefix-cache lookup;
+* the engine emits the request lifecycle (:class:`RequestQueued`,
+  :class:`RequestAdmitted`, :class:`RequestPreempted`,
+  :class:`RequestFinished`, :class:`RequestFailed`) and one
+  :class:`StepCompleted` per engine step.
+
+Consumers subscribe callbacks (optionally filtered by event type) or read
+the bounded ring buffer after the fact;
+:class:`~repro.engine.metrics.MetricsCollector` rebuilds the engine's
+step/preemption/prefix-hit counters purely from these events.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+__all__ = [
+    "EventBus",
+    "Event",
+    "PageAllocated",
+    "LargePageCarved",
+    "PageEvicted",
+    "PageEvictedToHost",
+    "PageReleased",
+    "PrefixHit",
+    "RequestQueued",
+    "RequestAdmitted",
+    "RequestPreempted",
+    "RequestFinished",
+    "RequestFailed",
+    "StepCompleted",
+    "ALLOCATION_STEPS",
+]
+
+# Human-readable names of the §5.4 five-step allocation algorithm, keyed by
+# the ``step`` field of :class:`PageAllocated`.
+ALLOCATION_STEPS: Dict[int, str] = {
+    1: "request-associated small page",
+    2: "empty large page",
+    3: "evict large page",
+    4: "arbitrary small page",
+    5: "evict small page",
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """Marker base class for all bus records."""
+
+
+@dataclass(frozen=True)
+class PageAllocated(Event):
+    """One small page left the allocator via §5.4 step ``step`` (1-5)."""
+
+    group_id: str
+    request_id: str
+    page_id: int
+    step: int
+
+    @property
+    def step_name(self) -> str:
+        return ALLOCATION_STEPS.get(self.step, f"step {self.step}")
+
+
+@dataclass(frozen=True)
+class LargePageCarved(Event):
+    """A large page was carved from the LCM pool into small pages."""
+
+    group_id: str
+    large_page_id: int
+    num_small_pages: int
+
+
+@dataclass(frozen=True)
+class PageEvicted(Event):
+    """An evictable page was reclaimed (``level`` is ``small``/``large``).
+
+    ``last_access`` and ``prefix_length`` are the two-key eviction priority
+    the victim held (Section 5.1's balanced/aligned eviction order).
+    """
+
+    group_id: str
+    page_id: int
+    level: str
+    last_access: float = 0.0
+    prefix_length: float = 0.0
+
+
+@dataclass(frozen=True)
+class PageEvictedToHost(Event):
+    """A cached block spilled to the host-memory offload tier."""
+
+    group_id: str
+    block_hash: int
+    page_bytes: int
+
+
+@dataclass(frozen=True)
+class PageReleased(Event):
+    """A page's last reference dropped (``cached``: kept as evictable)."""
+
+    group_id: str
+    page_id: int
+    cached: bool
+
+
+@dataclass(frozen=True)
+class PrefixHit(Event):
+    """One prefix-cache lookup (``hit_tokens`` may be zero on a miss)."""
+
+    request_id: str
+    hit_tokens: int
+    lookup_tokens: int
+
+
+@dataclass(frozen=True)
+class RequestQueued(Event):
+    """A request entered the waiting queue (arrival or preemption)."""
+
+    request_id: str
+    arrival_time: float
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(Event):
+    """The scheduler admitted a waiting request into the running set."""
+
+    request_id: str
+    time: float
+    cached_tokens: int = 0
+
+
+@dataclass(frozen=True)
+class RequestPreempted(Event):
+    """A running request was preempted by recomputation.
+
+    ``reason`` is ``"victim"`` (evicted to make room for another request)
+    or ``"self"`` (its own allocation failed with nobody left to evict).
+    """
+
+    request_id: str
+    time: float
+    reason: str = "victim"
+
+
+@dataclass(frozen=True)
+class RequestFinished(Event):
+    request_id: str
+    time: float
+
+
+@dataclass(frozen=True)
+class RequestFailed(Event):
+    """A request can never fit on the GPU (permanent admission failure)."""
+
+    request_id: str
+    time: float
+
+
+@dataclass(frozen=True)
+class StepCompleted(Event):
+    """One engine step finished; ``record`` is the full
+    :class:`~repro.engine.metrics.StepRecord` (typed ``Any`` to keep the
+    core layer free of engine imports)."""
+
+    index: int
+    time: float
+    num_preemptions: int
+    record: Any = field(default=None, compare=False)
+
+
+_Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous pub/sub bus with a bounded ring buffer.
+
+    Emission is cheap enough for per-page-allocation use: one ring append,
+    one counter bump, and subscriber dispatch only for matching types.
+    The ring buffer keeps the last ``capacity`` events for after-the-fact
+    inspection (tests, debugging); subscribers see *every* event
+    regardless of ring capacity.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._ring: "deque[Event]" = deque(maxlen=capacity)
+        self._subscribers: List[Tuple[Optional[Tuple[Type[Event], ...]], _Handler]] = []
+        self.counts: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def emit(self, event: Event) -> None:
+        """Publish ``event`` to the ring buffer and all matching handlers."""
+        self._ring.append(event)
+        self.counts[type(event).__name__] += 1
+        for types, handler in self._subscribers:
+            if types is None or isinstance(event, types):
+                handler(event)
+
+    def subscribe(
+        self,
+        handler: _Handler,
+        event_types: Optional[Iterable[Type[Event]]] = None,
+    ) -> _Handler:
+        """Register ``handler`` for all events (or only ``event_types``).
+
+        Returns the handler so it can be passed to :meth:`unsubscribe`.
+        """
+        types = tuple(event_types) if event_types is not None else None
+        self._subscribers.append((types, handler))
+        return handler
+
+    def unsubscribe(self, handler: _Handler) -> bool:
+        """Remove every subscription of ``handler``; return whether any existed."""
+        before = len(self._subscribers)
+        self._subscribers = [(t, h) for t, h in self._subscribers if h is not handler]
+        return len(self._subscribers) < before
+
+    def recent(
+        self,
+        event_type: Optional[Type[Event]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Event]:
+        """Ring-buffer contents, oldest first, optionally filtered by type."""
+        events: List[Event] = list(self._ring)
+        if event_type is not None:
+            events = [e for e in events if isinstance(e, event_type)]
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def clear(self) -> None:
+        """Drop the ring buffer and counters (subscribers stay registered)."""
+        self._ring.clear()
+        self.counts.clear()

@@ -79,12 +79,21 @@ class LRUEvictor:
         Ties on ``last_access`` break toward the largest ``prefix_length``
         (aligned eviction).  Raises :class:`KeyError` when empty.
         """
+        return self.evict_with_key()[0]
+
+    def evict_with_key(self) -> Tuple[Hashable, float, float]:
+        """Like :meth:`evict`, also returning the victim's priority.
+
+        Returns ``(item, last_access, prefix_length)`` -- the two-key
+        eviction priority the victim held, used to enrich
+        :class:`~repro.core.events.PageEvicted` records.
+        """
         self._compact()
         if not self._heap:
             raise KeyError("evictor is empty")
         key, item = heapq.heappop(self._heap)
         del self._priority[item]
-        return item
+        return item, key[0], -key[1]
 
     def priority_of(self, item: Hashable) -> Tuple[float, float]:
         """Return ``(last_access, prefix_length)`` currently recorded for ``item``."""

@@ -1,0 +1,204 @@
+"""Per-request binding and page-table bookkeeping for the KV manager.
+
+A *binding* is the per-(request, group) allocation state: the page table
+mapping page-table slots to physical small pages, the set of held
+references, fill/hash progress, and the release frontier.
+:class:`BindingTableMixin` carries every method that reads or mutates this
+state without making allocation decisions -- the five-step allocation path
+lives in :mod:`repro.core.kv_alloc` and prefix-cache coordination in
+:mod:`repro.core.kv_prefix`; :class:`~repro.core.kv_manager.JengaKVCacheManager`
+composes all three over :class:`~repro.core.protocols.KVCacheManagerBase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .layer_policy import (
+    DROPPED_TOKEN,
+    LayerTypePolicy,
+    MAMBA,
+    SLIDING_WINDOW,
+    VISION_EMBEDDING,
+    VisionEmbeddingPolicy,
+)
+from .pages import SmallPage
+from .sequence import SequenceSpec
+from .two_level import GroupAllocator
+
+__all__ = ["GroupBinding", "BindingTableMixin", "policy_pages_to_write"]
+
+
+@dataclass
+class GroupBinding:
+    """Per-(request, group) allocation state."""
+
+    page_table: List[Optional[int]] = field(default_factory=list)
+    held: Set[int] = field(default_factory=set)
+    stream_len: int = 0  # stream tokens with pages allocated
+    cached_stream: int = 0  # leading stream tokens served from cache
+    filled_upto: int = 0  # stream tokens whose fill counts are recorded
+    release_ptr: int = 0  # all held indices below this were released
+    last_time: float = 0.0  # timestamp of the latest commit/touch
+    # Incremental hash-chain state.
+    hash_state: Optional[int] = None
+    hashed_upto: int = 0  # stream tokens folded into hash_state
+    hashed_blocks: int = 0  # cacheable blocks folded into hash_state
+    last_checkpoint_page: Optional[int] = None  # mamba only
+
+
+def policy_pages_to_write(
+    policy: LayerTypePolicy, old_stream: int, new_stream: int
+) -> List[int]:
+    """Page-table indices written when the stream grows old -> new.
+
+    Attention-like groups write the blocks overlapping ``[old, new)``;
+    Mamba writes its working state (slot 0, first growth only) plus one
+    checkpoint per interval boundary crossed.
+    """
+    if new_stream <= old_stream:
+        return []
+    spec = policy.spec
+    if spec.kind == MAMBA:
+        indices: List[int] = []
+        if old_stream == 0:
+            indices.append(0)
+        boundaries = policy.cacheable_boundaries(new_stream)
+        for block_idx, boundary in enumerate(boundaries):
+            if boundary > old_stream:
+                indices.append(policy.page_index_of_block(block_idx))
+        return indices
+    tpp = spec.tokens_per_page
+    first = old_stream // tpp
+    last = (new_stream + tpp - 1) // tpp
+    return list(range(first, last))
+
+
+class BindingTableMixin:
+    """Binding-table plumbing shared by the KV manager's mixins.
+
+    Expects the composing class to provide ``specs``, ``policies``,
+    ``allocator``, ``_bindings``, and ``_stream_cache``.
+    """
+
+    def touch(self, seq: SequenceSpec, now: float) -> None:
+        """Refresh access stamps without committing new tokens."""
+        bindings = self._require(seq.request_id)
+        for binding in bindings.values():
+            binding.last_time = now
+
+    def active_requests(self) -> List[str]:
+        return list(self._bindings)
+
+    def _require(self, request_id: str) -> Dict[str, GroupBinding]:
+        bindings = self._bindings.get(request_id)
+        if bindings is None:
+            raise KeyError(f"request {request_id!r} not registered (begin_request?)")
+        return bindings
+
+    def _update_fill(self, group: GroupAllocator, binding: GroupBinding, stream_len: int) -> None:
+        tpp = group.spec.tokens_per_page
+        first = binding.filled_upto // tpp
+        last = (stream_len + tpp - 1) // tpp
+        for idx in range(first, last):
+            if idx in binding.held and binding.page_table[idx] is not None:
+                page = group.pages.get(binding.page_table[idx])
+                if page is not None:
+                    new_tokens = max(0, min(tpp, stream_len - idx * tpp))
+                    group.note_fill(new_tokens - page.num_tokens)
+                    page.num_tokens = new_tokens
+        binding.filled_upto = stream_len
+
+    def _frontier(self, policy: LayerTypePolicy, request_id: str, stream_len: int) -> int:
+        """First page index the request still needs (all below are dead)."""
+        spec = policy.spec
+        if spec.kind in (SLIDING_WINDOW, DROPPED_TOKEN):
+            window = int(spec.window)
+            return max(0, stream_len - window) // spec.tokens_per_page
+        if spec.kind == VISION_EMBEDDING:
+            assert isinstance(policy, VisionEmbeddingPolicy)
+            consumed = policy._consumed.get(request_id, 0)
+            return consumed // spec.tokens_per_page
+        # Full / cross attention keep everything; Mamba releases checkpoints
+        # through their own path (they sit above the working slot 0).
+        return 0
+
+    def _release_range(
+        self,
+        group: GroupAllocator,
+        policy: LayerTypePolicy,
+        binding: GroupBinding,
+        lo: int,
+        hi: int,
+        now: float,
+        seq: SequenceSpec,
+        cacheable: bool = False,
+        stamp_bias: float = 0.0,
+    ) -> None:
+        """Release pages behind a layer's active frontier.
+
+        Out-of-window slide-outs stay cached but stamped ``now -
+        stamp_bias``: they can still serve hits while memory is plentiful,
+        yet evict before any useful page under pressure (the customized
+        sliding-window eviction rule of Sections 5.1/7.3).  Consumed vision
+        embeddings pass ``cacheable=False`` and free outright (Section
+        6.2's allocate-on-demand flow).
+        """
+        group_id = group.spec.group_id
+        for idx in range(lo, hi):
+            if idx not in binding.held:
+                continue
+            page_id = binding.page_table[idx]
+            binding.held.discard(idx)
+            if page_id is None:
+                continue
+            page = group.pages.get(page_id)
+            if page is not None:
+                page.last_access = now - stamp_bias
+                page.prefix_length = self._prefix_value(policy, idx, seq)
+            self.allocator.release_page(group_id, page_id, cacheable=cacheable)
+        binding.release_ptr = max(binding.release_ptr, hi)
+
+    def _prefix_value(
+        self, policy: LayerTypePolicy, idx: int, seq: SequenceSpec
+    ) -> float:
+        """The ``set_prefix_length`` value for page-table slot ``idx``.
+
+        Matches the bulk interface: stream-token depth for attention-like
+        groups (aligned across groups sharing a stream), randomized
+        per-image draws for vision embeddings, checkpoint depth for Mamba.
+        """
+        spec = policy.spec
+        if spec.kind == MAMBA:
+            if idx == 0:
+                return float(10**12)
+            return float(policy.boundary_of_block(idx - 1))
+        if isinstance(policy, VisionEmbeddingPolicy):
+            probe: List[Optional[SmallPage]] = [None] * (idx + 1)
+            probe[idx] = SmallPage(page_id=-1, group_id=spec.group_id)
+            policy.set_prefix_length(probe, seq)
+            return probe[idx].prefix_length
+        return float((idx + 1) * spec.tokens_per_page)
+
+    def _stream_of(self, seq: SequenceSpec, group_id: str) -> List[int]:
+        """Group's stream token ids, cached per (request, group).
+
+        The cache is length-validated, so decode appends refresh it lazily.
+        """
+        spec = self.specs[group_id]
+        key = (seq.request_id, group_id)
+        cached = self._stream_cache.get(key)
+        expect = seq.stream_length(spec.accepted_tags)
+        if cached is not None and len(cached) == expect:
+            return cached
+        if (
+            cached is not None
+            and len(cached) < expect
+            and spec.accepted_tags >= seq._tag_set
+        ):
+            cached.extend(seq.token_ids[len(cached):])
+            return cached
+        stream = seq.stream_tokens(spec.accepted_tags)
+        self._stream_cache[key] = stream
+        return stream

@@ -1,14 +1,28 @@
 """``JengaKVCacheManager`` -- the public face of the Jenga allocator.
 
-The serving engine interacts with KV-cache memory exclusively through this
-class (baseline managers in :mod:`repro.baselines` implement the same
-interface).  A manager instance wraps:
+The serving engine interacts with KV-cache memory exclusively through the
+:class:`~repro.core.protocols.KVCacheManager` protocol; this class is its
+reference implementation (baseline managers in :mod:`repro.baselines`
+subclass it).  A manager instance wraps:
 
 * one :class:`~repro.core.two_level.TwoLevelAllocator` over the KV region,
 * one :class:`~repro.core.layer_policy.LayerTypePolicy` per layer-type
   group, and
 * per-request *bindings* (page tables plus held references) for every
   group.
+
+The implementation is split by concern:
+
+* :mod:`repro.core.kv_binding` -- binding/page-table bookkeeping
+  (:class:`~repro.core.kv_binding.BindingTableMixin`);
+* :mod:`repro.core.kv_alloc` -- the five-step allocation path and
+  capacity probes (:class:`~repro.core.kv_alloc.AllocationMixin`);
+* :mod:`repro.core.kv_prefix` -- prefix-cache coordination and the host
+  offload tier (:class:`~repro.core.kv_prefix.PrefixCacheMixin`);
+
+with this module supplying construction, commit/release, and the
+engine-facing properties on top of
+:class:`~repro.core.protocols.KVCacheManagerBase`.
 
 Lifecycle of a request ``r``:
 
@@ -39,28 +53,31 @@ cross-checks this optimized protocol against the literal per-step one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .events import EventBus
+from .kv_alloc import AllocationMixin, ideal_resident_bytes
+from .kv_binding import BindingTableMixin, GroupBinding, policy_pages_to_write
+from .kv_prefix import PrefixCacheMixin
 from .layer_policy import (
-    DROPPED_TOKEN,
     GroupSpec,
-    LayerTypePolicy,
     MAMBA,
-    SLIDING_WINDOW,
     VISION_EMBEDDING,
     VisionEmbeddingPolicy,
     make_policy,
 )
 from .offload import HostMemoryPool, OffloadConfig
-from .pages import SmallPage
-from .prefix_cache import chain_hashes, longest_common_prefix
+from .protocols import KVCacheManagerBase
 from .sequence import SequenceSpec
-from .two_level import AllocatorStats, GroupAllocator, TwoLevelAllocator
+from .two_level import AllocatorStats, TwoLevelAllocator
 
-__all__ = ["JengaKVCacheManager", "GroupBinding"]
+__all__ = [
+    "JengaKVCacheManager",
+    "GroupBinding",
+    "ideal_resident_bytes",
+    "policy_pages_to_write",
+]
 
-_HASH_SEED = 0x9E3779B97F4A7C15
 # Last-access bias applied to pages a window layer has slid past.  Section
 # 5.1: "tokens outside the window should be prioritized for eviction over
 # the most recent tokens" -- the bias puts them in a strictly lower
@@ -70,25 +87,9 @@ _HASH_SEED = 0x9E3779B97F4A7C15
 _OUT_OF_WINDOW_BIAS = 1e15
 
 
-@dataclass
-class GroupBinding:
-    """Per-(request, group) allocation state."""
-
-    page_table: List[Optional[int]] = field(default_factory=list)
-    held: Set[int] = field(default_factory=set)
-    stream_len: int = 0  # stream tokens with pages allocated
-    cached_stream: int = 0  # leading stream tokens served from cache
-    filled_upto: int = 0  # stream tokens whose fill counts are recorded
-    release_ptr: int = 0  # all held indices below this were released
-    last_time: float = 0.0  # timestamp of the latest commit/touch
-    # Incremental hash-chain state.
-    hash_state: Optional[int] = None
-    hashed_upto: int = 0  # stream tokens folded into hash_state
-    hashed_blocks: int = 0  # cacheable blocks folded into hash_state
-    last_checkpoint_page: Optional[int] = None  # mamba only
-
-
-class JengaKVCacheManager:
+class JengaKVCacheManager(
+    PrefixCacheMixin, AllocationMixin, BindingTableMixin, KVCacheManagerBase
+):
     """Two-level, policy-customized KV-cache manager (the paper's system).
 
     Args:
@@ -99,6 +100,12 @@ class JengaKVCacheManager:
         strategy: Compatible-page-size strategy (``"lcm"``/``"gcd"``/
             ``"max"``) -- non-LCM values exist for the Section 4.4 ablation.
         seed: Seed for randomized per-image eviction draws.
+        events: Event bus allocation/eviction records publish to; a private
+            bus is created when omitted (the engine rebinds managers onto
+            its own via :meth:`bind_events`).
+        shared_allocator: Multi-model serving (Section 6.1): several
+            managers, one page pool.  All managers sharing an allocator
+            share its event bus.
     """
 
     name = "jenga"
@@ -113,12 +120,13 @@ class JengaKVCacheManager:
         request_aware: bool = True,
         offload: Optional[OffloadConfig] = None,
         shared_allocator: Optional[TwoLevelAllocator] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
+        KVCacheManagerBase.__init__(self, events)
         self.specs = dict(group_specs)
         if shared_allocator is not None:
-            # Multi-model serving (Section 6.1): several managers, one
-            # page pool.  The shared allocator was built over the union of
-            # all models' groups; this manager drives only its own subset.
+            # The shared allocator was built over the union of all models'
+            # groups; this manager drives only its own subset.
             missing = set(self.specs) - set(shared_allocator.groups)
             if missing:
                 raise ValueError(f"shared allocator lacks groups: {missing}")
@@ -126,6 +134,12 @@ class JengaKVCacheManager:
                 g: shared_allocator.groups[g].policy for g in self.specs
             }
             self.allocator = shared_allocator
+            # One pool, one bus: the first manager installs its bus on the
+            # allocator, later views adopt it (unless given one explicitly).
+            if events is None and shared_allocator.events is not None:
+                self.events = shared_allocator.events
+            else:
+                shared_allocator.events = self.events
         else:
             self.policies = {
                 g: make_policy(s, enable_prefix_caching=enable_prefix_caching, seed=seed)
@@ -138,6 +152,7 @@ class JengaKVCacheManager:
                 strategy=strategy,
                 enable_prefix_caching=enable_prefix_caching,
                 request_aware=request_aware,
+                events=self.events,
             )
         self.enable_prefix_caching = enable_prefix_caching
         self._bindings: Dict[str, Dict[str, GroupBinding]] = {}
@@ -154,294 +169,14 @@ class JengaKVCacheManager:
             self.host_pool = HostMemoryPool(offload)
             self.allocator.eviction_listener = self._on_gpu_eviction
 
+    def bind_events(self, events: EventBus) -> None:
+        """Adopt ``events`` for this manager *and* its allocator."""
+        self.events = events
+        self.allocator.events = events
+
     # ------------------------------------------------------------------
-    # Request lifecycle
+    # Commit / release
     # ------------------------------------------------------------------
-
-    def begin_request(self, seq: SequenceSpec) -> int:
-        """Register ``seq`` and acquire its prefix-cache hit.
-
-        Returns the number of leading *global* tokens whose cache is already
-        resident (0 when prefix caching is disabled or nothing matches).
-        The engine must still compute at least one token, so the hit is
-        capped at ``len(seq) - 1``.
-        """
-        if seq.request_id in self._bindings:
-            raise ValueError(f"request {seq.request_id!r} already active")
-        bindings = {g: GroupBinding() for g in self.specs}
-        self._bindings[seq.request_id] = bindings
-        if not self.enable_prefix_caching:
-            return 0
-
-        all_hashes: Dict[str, List[int]] = {}
-        valid: Dict[str, List[int]] = {}
-        for group_id in self.specs:
-            if self.specs[group_id].kind == VISION_EMBEDDING:
-                # Embeddings are *inputs* to prefill, not dependencies of
-                # future tokens: a prefix whose KV is cached needs no
-                # embeddings, so the vision group never constrains the
-                # model-wide hit (it is refilled by the encoder when the
-                # uncached remainder contains image tokens).
-                continue
-            policy = self.policies[group_id]
-            stream = self._stream_of(seq, group_id)
-            boundaries = policy.cacheable_boundaries(len(stream))
-            hashes = chain_hashes(stream, boundaries)
-            group = self.allocator.groups[group_id]
-            if self.host_pool is not None:
-                is_hit = [
-                    group.cache_index.probe(h) is not None
-                    or self.host_pool.probe(h) is not None
-                    for h in hashes
-                ]
-            else:
-                is_hit = [group.cache_index.probe(h) is not None for h in hashes]
-            all_hashes[group_id] = hashes
-            valid[group_id] = policy.get_possible_prefix(is_hit)
-
-        tags = {
-            g: s.accepted_tags for g, s in self.specs.items()
-            if s.kind != VISION_EMBEDDING
-        }
-        hit_global = longest_common_prefix(seq, valid, tags, max_global=len(seq) - 1)
-        self.lookup_tokens += len(seq)
-        if hit_global <= 0:
-            return 0
-
-        acquired: List[Tuple[str, int]] = []
-        ok = True
-        for group_id, spec in self.specs.items():
-            if spec.kind == VISION_EMBEDDING:
-                continue  # embeddings are re-encoded, not acquired
-            policy = self.policies[group_id]
-            binding = bindings[group_id]
-            cached_stream = seq.stream_length(spec.accepted_tags, hit_global)
-            binding.cached_stream = cached_stream
-            binding.stream_len = cached_stream
-            binding.filled_upto = cached_stream
-            num_pages = policy.num_pages_for(cached_stream)
-            binding.page_table = [None] * num_pages
-            stream = self._stream_of(seq, group_id)
-            boundaries = policy.cacheable_boundaries(len(stream))
-            hashes = all_hashes[group_id]
-            needed = self._needed_hit_pages(policy, cached_stream, boundaries)
-            for block_idx in needed:
-                page = self.allocator.acquire_cached(
-                    group_id, hashes[block_idx], seq.request_id
-                )
-                if page is None and self.host_pool is not None:
-                    page = self._materialize_from_host(
-                        group_id, hashes[block_idx], seq, boundaries, block_idx
-                    )
-                if page is None:
-                    ok = False
-                    break
-                idx = policy.page_index_of_block(block_idx)
-                if idx >= len(binding.page_table):
-                    binding.page_table.extend(
-                        [None] * (idx + 1 - len(binding.page_table))
-                    )
-                binding.page_table[idx] = page.page_id
-                binding.held.add(idx)
-                acquired.append((group_id, page.page_id))
-            covered = 0
-            for b in boundaries:
-                if b > cached_stream:
-                    break
-                covered += 1
-            if covered:
-                binding.hash_state = hashes[covered - 1]
-                binding.hashed_upto = boundaries[covered - 1]
-                binding.hashed_blocks = covered
-            # Pages below the active frontier were never held.
-            binding.release_ptr = self._frontier(policy, seq.request_id, cached_stream)
-            if not ok:
-                break
-        if not ok:
-            # Racing eviction invalidated the hit; fall back to no hit.
-            for group_id, page_id in acquired:
-                self.allocator.release_page(group_id, page_id, cacheable=True)
-            for group_id in self.specs:
-                bindings[group_id] = GroupBinding()
-            return 0
-        self.hit_tokens += hit_global
-        return hit_global
-
-    def _on_gpu_eviction(self, group_id: str, block_hash: int, page_bytes: int) -> None:
-        """Spill an evicted cached block to the host pool."""
-        assert self.host_pool is not None
-        self.host_pool.offload(block_hash, group_id, page_bytes)
-
-    def _materialize_from_host(
-        self,
-        group_id: str,
-        block_hash: int,
-        seq: SequenceSpec,
-        boundaries: Sequence[int],
-        block_idx: int,
-    ) -> Optional[SmallPage]:
-        """Onload a host-resident block into a freshly allocated GPU page.
-
-        The transfer cost accrues against the request and is drained by
-        the engine via :meth:`take_onload_bytes`.
-        """
-        assert self.host_pool is not None
-        size = self.host_pool.onload(block_hash)
-        if size is None:
-            return None
-        page = self.allocator.allocate_page(group_id, seq.request_id)
-        if page is None:
-            return None
-        spec = self.specs[group_id]
-        prev = boundaries[block_idx - 1] if block_idx > 0 else 0
-        tokens = boundaries[block_idx] - prev
-        group = self.allocator.groups[group_id]
-        group.note_fill(tokens - page.num_tokens)
-        page.num_tokens = tokens
-        self.allocator.register_block_hash(group_id, page, block_hash)
-        self._pending_onload_bytes[seq.request_id] = (
-            self._pending_onload_bytes.get(seq.request_id, 0) + size
-        )
-        return page
-
-    def take_onload_bytes(self, request_id: str) -> int:
-        """Drain the PCIe transfer debt accrued by host-pool hits."""
-        return self._pending_onload_bytes.pop(request_id, 0)
-
-    def _needed_hit_pages(
-        self, policy: LayerTypePolicy, cached_stream: int, boundaries: Sequence[int]
-    ) -> List[int]:
-        """Hit blocks whose pages the request must actually hold.
-
-        Blocks outside the layer's active subset (e.g. out-of-window) stay
-        evictable -- the request never touches them again.  Mamba hits copy
-        the checkpoint into a fresh working state, so no reference is taken.
-        """
-        if policy.spec.kind == MAMBA:
-            return []
-        active = policy.active_page_indices(cached_stream)
-        needed = []
-        for block_idx, boundary in enumerate(boundaries):
-            if boundary > cached_stream:
-                break
-            if policy.page_index_of_block(block_idx) in active:
-                needed.append(block_idx)
-        return needed
-
-    def allocate_vision(self, seq: SequenceSpec) -> bool:
-        """Allocate vision-embedding pages for *all* of ``seq``'s images.
-
-        The vision encoder runs once at admission and produces embeddings
-        for every image token (Section 6.2), so the embedding group is
-        allocated to the full image stream up front, independently of how
-        far LLM prefill has progressed.  Returns ``False`` (with rollback)
-        if memory does not suffice.
-        """
-        bindings = self._require(seq.request_id)
-        newly: List[Tuple[str, GroupBinding, int]] = []
-        for group_id, spec in self.specs.items():
-            if spec.kind != VISION_EMBEDDING:
-                continue
-            policy = self.policies[group_id]
-            binding = bindings[group_id]
-            target_stream = seq.stream_length(spec.accepted_tags)
-            if target_stream <= binding.stream_len:
-                continue
-            indices = policy_pages_to_write(policy, binding.stream_len, target_stream)
-            num_pages = policy.num_pages_for(target_stream)
-            if num_pages > len(binding.page_table):
-                binding.page_table.extend([None] * (num_pages - len(binding.page_table)))
-            ok = True
-            for idx in indices:
-                if idx in binding.held and binding.page_table[idx] is not None:
-                    continue
-                page = self.allocator.allocate_page(group_id, seq.request_id)
-                if page is None:
-                    ok = False
-                    break
-                binding.page_table[idx] = page.page_id
-                binding.held.add(idx)
-                newly.append((group_id, binding, idx))
-            if not ok:
-                for gid, b, idx in newly:
-                    page_id = b.page_table[idx]
-                    b.held.discard(idx)
-                    b.page_table[idx] = None
-                    if page_id is not None:
-                        self.allocator.release_page(gid, page_id, cacheable=False)
-                return False
-            binding.stream_len = target_stream
-            # The encoder fills the embeddings immediately.
-            tpp = spec.tokens_per_page
-            group = self.allocator.groups[group_id]
-            for idx in indices:
-                page_id = binding.page_table[idx]
-                page = group.pages.get(page_id) if page_id is not None else None
-                if page is not None:
-                    filled = max(0, min(tpp, target_stream - idx * tpp))
-                    group.note_fill(filled - page.num_tokens)
-                    page.num_tokens = filled
-            binding.filled_upto = target_stream
-        return True
-
-    @property
-    def has_vision_cache(self) -> bool:
-        """Whether this manager caches vision-encoder outputs (Section 6.2)."""
-        return any(s.kind == VISION_EMBEDDING for s in self.specs.values())
-
-    @property
-    def kernel_slowdown(self) -> float:
-        """Attention-kernel penalty of the page-layout strategy (§4.4)."""
-        return 2.0 if self.allocator.lcm.strategy == "gcd" else 1.0
-
-    def allocate_up_to(self, seq: SequenceSpec, target_global: int) -> bool:
-        """Ensure pages back the first ``target_global`` tokens of ``seq``.
-
-        Runs the five-step algorithm for every missing page.  On failure the
-        pages newly allocated by *this call* are rolled back and ``False``
-        is returned; the scheduler then preempts a request and retries.
-        """
-        bindings = self._require(seq.request_id)
-        newly: List[Tuple[str, GroupBinding, int]] = []
-        ok = True
-        for group_id, spec in self.specs.items():
-            policy = self.policies[group_id]
-            binding = bindings[group_id]
-            target_stream = seq.stream_length(spec.accepted_tags, target_global)
-            if target_stream <= binding.stream_len:
-                continue
-            indices = policy_pages_to_write(policy, binding.stream_len, target_stream)
-            if spec.kind == MAMBA and 0 not in binding.held and 0 not in indices:
-                # A Mamba cache hit copies a checkpoint into a fresh working
-                # state, so the working slot still needs its own page.
-                indices.insert(0, 0)
-            num_pages = policy.num_pages_for(target_stream)
-            if num_pages > len(binding.page_table):
-                binding.page_table.extend(
-                    [None] * (num_pages - len(binding.page_table))
-                )
-            for idx in indices:
-                if idx in binding.held and binding.page_table[idx] is not None:
-                    continue
-                page = self.allocator.allocate_page(group_id, seq.request_id)
-                if page is None:
-                    ok = False
-                    break
-                binding.page_table[idx] = page.page_id
-                binding.held.add(idx)
-                newly.append((group_id, binding, idx))
-            if not ok:
-                break
-            binding.stream_len = target_stream
-        if not ok:
-            for group_id, binding, idx in newly:
-                page_id = binding.page_table[idx]
-                binding.held.discard(idx)
-                binding.page_table[idx] = None
-                if page_id is not None:
-                    self.allocator.release_page(group_id, page_id, cacheable=False)
-            return False
-        return True
 
     def commit(
         self,
@@ -493,132 +228,6 @@ class JengaKVCacheManager:
             if spec.kind == MAMBA:
                 self._refresh_last_checkpoint(group, binding, now)
 
-    def _update_fill(self, group: GroupAllocator, binding: GroupBinding, stream_len: int) -> None:
-        tpp = group.spec.tokens_per_page
-        first = binding.filled_upto // tpp
-        last = (stream_len + tpp - 1) // tpp
-        for idx in range(first, last):
-            if idx in binding.held and binding.page_table[idx] is not None:
-                page = group.pages.get(binding.page_table[idx])
-                if page is not None:
-                    new_tokens = max(0, min(tpp, stream_len - idx * tpp))
-                    group.note_fill(new_tokens - page.num_tokens)
-                    page.num_tokens = new_tokens
-        binding.filled_upto = stream_len
-
-    def _frontier(self, policy: LayerTypePolicy, request_id: str, stream_len: int) -> int:
-        """First page index the request still needs (all below are dead)."""
-        spec = policy.spec
-        if spec.kind in (SLIDING_WINDOW, DROPPED_TOKEN):
-            window = int(spec.window)
-            return max(0, stream_len - window) // spec.tokens_per_page
-        if spec.kind == VISION_EMBEDDING:
-            assert isinstance(policy, VisionEmbeddingPolicy)
-            consumed = policy._consumed.get(request_id, 0)
-            return consumed // spec.tokens_per_page
-        # Full / cross attention keep everything; Mamba releases checkpoints
-        # through their own path (they sit above the working slot 0).
-        return 0
-
-    def _release_range(
-        self,
-        group: GroupAllocator,
-        policy: LayerTypePolicy,
-        binding: GroupBinding,
-        lo: int,
-        hi: int,
-        now: float,
-        seq: SequenceSpec,
-        cacheable: bool = False,
-        stamp_bias: float = 0.0,
-    ) -> None:
-        """Release pages behind a layer's active frontier.
-
-        Out-of-window slide-outs stay cached but stamped ``now -
-        stamp_bias``: they can still serve hits while memory is plentiful,
-        yet evict before any useful page under pressure (the customized
-        sliding-window eviction rule of Sections 5.1/7.3).  Consumed vision
-        embeddings pass ``cacheable=False`` and free outright (Section
-        6.2's allocate-on-demand flow).
-        """
-        group_id = group.spec.group_id
-        for idx in range(lo, hi):
-            if idx not in binding.held:
-                continue
-            page_id = binding.page_table[idx]
-            binding.held.discard(idx)
-            if page_id is None:
-                continue
-            page = group.pages.get(page_id)
-            if page is not None:
-                page.last_access = now - stamp_bias
-                page.prefix_length = self._prefix_value(policy, idx, seq)
-            self.allocator.release_page(group_id, page_id, cacheable=cacheable)
-        binding.release_ptr = max(binding.release_ptr, hi)
-
-    def _prefix_value(
-        self, policy: LayerTypePolicy, idx: int, seq: SequenceSpec
-    ) -> float:
-        """The ``set_prefix_length`` value for page-table slot ``idx``.
-
-        Matches the bulk interface: stream-token depth for attention-like
-        groups (aligned across groups sharing a stream), randomized
-        per-image draws for vision embeddings, checkpoint depth for Mamba.
-        """
-        spec = policy.spec
-        if spec.kind == MAMBA:
-            if idx == 0:
-                return float(10**12)
-            return float(policy.boundary_of_block(idx - 1))
-        if isinstance(policy, VisionEmbeddingPolicy):
-            probe: List[Optional[SmallPage]] = [None] * (idx + 1)
-            probe[idx] = SmallPage(page_id=-1, group_id=spec.group_id)
-            policy.set_prefix_length(probe, seq)
-            return probe[idx].prefix_length
-        return float((idx + 1) * spec.tokens_per_page)
-
-    def _refresh_last_checkpoint(
-        self, group: GroupAllocator, binding: GroupBinding, now: float
-    ) -> None:
-        """Keep only the newest Mamba checkpoint's stamp fresh (§5.3)."""
-        page_id = binding.last_checkpoint_page
-        if page_id is None:
-            return
-        page = group.pages.get(page_id)
-        if page is None or not page.is_evictable:
-            return
-        page.last_access = now
-        self.allocator.touch_evictable(group.spec.group_id, page)
-
-    def touch(self, seq: SequenceSpec, now: float) -> None:
-        """Refresh access stamps without committing new tokens."""
-        bindings = self._require(seq.request_id)
-        for binding in bindings.values():
-            binding.last_time = now
-
-    def consume_vision(self, seq: SequenceSpec, upto_global: int) -> None:
-        """Free vision-embedding pages whose tokens prefill has consumed.
-
-        Implements the allocate-on-demand flow of Section 6.2: once the LLM
-        has prefilled past an image token, its embedding page is released.
-        """
-        bindings = self._require(seq.request_id)
-        for group_id, spec in self.specs.items():
-            if spec.kind != VISION_EMBEDDING:
-                continue
-            policy = self.policies[group_id]
-            assert isinstance(policy, VisionEmbeddingPolicy)
-            consumed_stream = seq.stream_length(spec.accepted_tags, upto_global)
-            policy.set_consumed(seq.request_id, consumed_stream)
-            binding = bindings[group_id]
-            group = self.allocator.groups[group_id]
-            frontier = consumed_stream // spec.tokens_per_page
-            if frontier > binding.release_ptr:
-                self._release_range(
-                    group, policy, binding, binding.release_ptr, frontier,
-                    binding.last_time, seq,
-                )
-
     def release(self, seq: SequenceSpec, cacheable: bool = True) -> None:
         """Drop every reference ``seq`` holds (finish or preemption).
 
@@ -647,227 +256,18 @@ class JengaKVCacheManager:
         self._pending_onload_bytes.pop(seq.request_id, None)
 
     # ------------------------------------------------------------------
-    # Capacity probes / accounting (engine-facing)
+    # Engine-facing properties and accounting
     # ------------------------------------------------------------------
-
-    def pages_needed(self, seq: SequenceSpec, target_global: int) -> Dict[str, int]:
-        """New pages each group would need to reach ``target_global``."""
-        bindings = self._bindings.get(seq.request_id)
-        needed = {}
-        for group_id, spec in self.specs.items():
-            policy = self.policies[group_id]
-            target_stream = seq.stream_length(spec.accepted_tags, target_global)
-            have = bindings[group_id].stream_len if bindings else 0
-            if target_stream <= have:
-                needed[group_id] = 0
-            else:
-                needed[group_id] = len(policy_pages_to_write(policy, have, target_stream))
-        return needed
-
-    def can_allocate(self, seq: SequenceSpec, target_global: int) -> bool:
-        """Optimistic admission probe (free + evictable cover the need)."""
-        for group_id, n in self.pages_needed(seq, target_global).items():
-            if n > self.allocator.reclaimable_pages(group_id):
-                return False
-        return True
-
-    def resident_pages_needed(self, seq: SequenceSpec, target_global: int) -> Dict[str, int]:
-        """Pages each group must keep *resident* once ``target_global`` tokens
-        are computed -- the steady-state footprint, not the transient
-        write set.  Sliding-window groups only count their window's pages
-        even though prefill writes (and promptly releases) every block.
-        """
-        bindings = self._bindings.get(seq.request_id)
-        needed: Dict[str, int] = {}
-        for group_id, spec in self.specs.items():
-            policy = self.policies[group_id]
-            stream_len = seq.stream_length(spec.accepted_tags, target_global)
-            n = len(policy.active_page_indices(stream_len))
-            if bindings is not None:
-                # Pages already held (prefix-cache hits acquired at
-                # begin_request) need no new allocation.
-                n -= len(bindings[group_id].held)
-            needed[group_id] = max(0, n)
-        return needed
-
-    def can_admit(
-        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
-    ) -> bool:
-        """Admission control: will the whole prompt's footprint ever fit?
-
-        vLLM gates admission on the full prompt's block count; doing the
-        same avoids admit-preempt thrash.  Each group's need is its
-        steady-state *resident* set -- so a window model's long prompt does
-        not demand pages it frees during prefill (Jenga's L4 Ministral
-        advantage) -- plus the transient write set of one prefill chunk
-        (a chunk's blocks must all be materialized before the out-of-window
-        ones release at commit).  Groups compete for the shared large-page
-        pool, so the check is joint in large-page units.
-        """
-        large_needed = 0
-        resident = self.resident_pages_needed(seq, len(seq))
-        for group_id, n in resident.items():
-            spec = self.specs[group_id]
-            policy = self.policies[group_id]
-            if spec.kind in (SLIDING_WINDOW, DROPPED_TOKEN):
-                # Peak residency: a prefill chunk's blocks are all written
-                # before the out-of-window ones release at commit, so the
-                # group transiently holds up to window + chunk tokens
-                # (capped by the stream itself).
-                stream_total = seq.stream_length(spec.accepted_tags)
-                limit = int(spec.window or spec.budget)
-                peak_tokens = min(stream_total, limit + chunk_tokens)
-                n = max(n, -(-peak_tokens // spec.tokens_per_page))
-            group = self.allocator.groups[group_id]
-            local = group.num_free + len(group.evictor)
-            deficit = n + watermark_pages - local
-            if deficit > 0:
-                large_needed += -(-deficit // group.small_per_large)
-        available = self.allocator.lcm.num_free + len(self.allocator.large_evictor)
-        return large_needed <= available
 
     def stats(self) -> AllocatorStats:
         return self.allocator.stats()
 
-    def ideal_resident_bytes(self, seq: SequenceSpec, computed_global: int) -> int:
-        """Bytes an ideal allocator would keep for this request right now.
-
-        Used by the fragmentation benchmarks as the "useful memory" line.
-        """
-        total = 0
-        for group_id, spec in self.specs.items():
-            stream_len = seq.stream_length(spec.accepted_tags, computed_global)
-            if not stream_len:
-                continue
-            resident = self.policies[group_id].resident_tokens(stream_len)
-            total += spec.bytes_for_tokens(resident)
-        return total
-
-    def cache_hit_rates(self) -> Dict[str, float]:
-        return {g: self.allocator.groups[g].cache_index.hit_rate for g in self.specs}
+    @property
+    def has_vision_cache(self) -> bool:
+        """Whether this manager caches vision-encoder outputs (Section 6.2)."""
+        return any(s.kind == VISION_EMBEDDING for s in self.specs.values())
 
     @property
-    def prefix_hit_rate(self) -> float:
-        """Fraction of looked-up prompt tokens served from cache."""
-        return self.hit_tokens / self.lookup_tokens if self.lookup_tokens else 0.0
-
-    def active_requests(self) -> List[str]:
-        return list(self._bindings)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _require(self, request_id: str) -> Dict[str, GroupBinding]:
-        bindings = self._bindings.get(request_id)
-        if bindings is None:
-            raise KeyError(f"request {request_id!r} not registered (begin_request?)")
-        return bindings
-
-    def _register_hashes(
-        self,
-        seq: SequenceSpec,
-        group_id: str,
-        binding: GroupBinding,
-        stream_len: int,
-        now: float,
-    ) -> None:
-        policy = self.policies[group_id]
-        boundaries = policy.cacheable_boundaries(stream_len)
-        if len(boundaries) <= binding.hashed_blocks:
-            return
-        stream = self._stream_of(seq, group_id)
-        state = binding.hash_state if binding.hash_state is not None else _HASH_SEED
-        pos = binding.hashed_upto
-        group = self.allocator.groups[group_id]
-        for block_idx in range(binding.hashed_blocks, len(boundaries)):
-            boundary = boundaries[block_idx]
-            state = hash((state, tuple(stream[pos:boundary])))
-            pos = boundary
-            idx = policy.page_index_of_block(block_idx)
-            if idx in binding.held and binding.page_table[idx] is not None:
-                page = group.pages.get(binding.page_table[idx])
-                if page is not None and page.block_hash is None:
-                    self.allocator.register_block_hash(group_id, page, state)
-                    if policy.spec.kind == MAMBA:
-                        # Checkpoints go straight to evictable cache: stamp
-                        # creation time and release the working reference.
-                        page.last_access = now
-                        page.prefix_length = self._prefix_value(policy, idx, seq)
-                        binding.held.discard(idx)
-                        self.allocator.release_page(group_id, page.page_id, cacheable=True)
-                        binding.last_checkpoint_page = page.page_id
-        binding.hash_state = state
-        binding.hashed_upto = pos
-        binding.hashed_blocks = len(boundaries)
-
-    def _stream_of(self, seq: SequenceSpec, group_id: str) -> List[int]:
-        """Group's stream token ids, cached per (request, group).
-
-        The cache is length-validated, so decode appends refresh it lazily.
-        """
-        spec = self.specs[group_id]
-        key = (seq.request_id, group_id)
-        cached = self._stream_cache.get(key)
-        expect = seq.stream_length(spec.accepted_tags)
-        if cached is not None and len(cached) == expect:
-            return cached
-        if (
-            cached is not None
-            and len(cached) < expect
-            and spec.accepted_tags >= seq._tag_set
-        ):
-            cached.extend(seq.token_ids[len(cached):])
-            return cached
-        stream = seq.stream_tokens(spec.accepted_tags)
-        self._stream_cache[key] = stream
-        return stream
-
-
-def ideal_resident_bytes(
-    group_specs: Dict[str, GroupSpec], seq: SequenceSpec, computed_global: int
-) -> int:
-    """Bytes an ideal, layer-aware allocator would keep for ``seq``.
-
-    Standalone version of
-    :meth:`JengaKVCacheManager.ideal_resident_bytes` usable against *any*
-    manager: the fragmentation benchmarks evaluate baselines' used memory
-    against the model's true per-layer-type needs (Section 3.2's ideal of
-    ``T * 32 * E + I * 8 * E``), not against the baselines' own inflated
-    group structure.
-    """
-    total = 0
-    for group_id, spec in group_specs.items():
-        stream_len = seq.stream_length(spec.accepted_tags, computed_global)
-        if not stream_len:
-            continue
-        resident = make_policy(spec).resident_tokens(stream_len)
-        total += spec.bytes_for_tokens(resident)
-    return total
-
-
-def policy_pages_to_write(
-    policy: LayerTypePolicy, old_stream: int, new_stream: int
-) -> List[int]:
-    """Page-table indices written when the stream grows old -> new.
-
-    Attention-like groups write the blocks overlapping ``[old, new)``;
-    Mamba writes its working state (slot 0, first growth only) plus one
-    checkpoint per interval boundary crossed.
-    """
-    if new_stream <= old_stream:
-        return []
-    spec = policy.spec
-    if spec.kind == MAMBA:
-        indices: List[int] = []
-        if old_stream == 0:
-            indices.append(0)
-        boundaries = policy.cacheable_boundaries(new_stream)
-        for block_idx, boundary in enumerate(boundaries):
-            if boundary > old_stream:
-                indices.append(policy.page_index_of_block(block_idx))
-        return indices
-    tpp = spec.tokens_per_page
-    first = old_stream // tpp
-    last = (new_stream + tpp - 1) // tpp
-    return list(range(first, last))
+    def kernel_slowdown(self) -> float:
+        """Attention-kernel penalty of the page-layout strategy (§4.4)."""
+        return 2.0 if self.allocator.lcm.strategy == "gcd" else 1.0

@@ -1,0 +1,273 @@
+"""Prefix-cache coordination for the KV manager (Section 5.2).
+
+:class:`PrefixCacheMixin` owns everything that touches cached blocks:
+per-group hash-chain lookup and acquisition at ``begin_request``,
+incremental block-hash registration at commit time, Mamba checkpoint
+stamp refreshing, and the optional host-memory offload tier (spill on
+eviction, onload on hit).  It emits :class:`~repro.core.events.PrefixHit`
+per lookup and :class:`~repro.core.events.PageEvictedToHost` per spill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import PageEvictedToHost, PrefixHit
+from .kv_binding import GroupBinding
+from .layer_policy import LayerTypePolicy, MAMBA, VISION_EMBEDDING
+from .pages import SmallPage
+from .prefix_cache import chain_hashes, longest_common_prefix
+from .sequence import SequenceSpec
+from .two_level import GroupAllocator
+
+__all__ = ["PrefixCacheMixin"]
+
+_HASH_SEED = 0x9E3779B97F4A7C15
+
+
+class PrefixCacheMixin:
+    """Prefix-cache lookup, registration, and offload coordination.
+
+    Expects the composing class to provide ``specs``, ``policies``,
+    ``allocator``, ``events``, ``enable_prefix_caching``, ``host_pool``,
+    and the binding-table plumbing.
+    """
+
+    def begin_request(self, seq: SequenceSpec) -> int:
+        """Register ``seq`` and acquire its prefix-cache hit.
+
+        Returns the number of leading *global* tokens whose cache is already
+        resident (0 when prefix caching is disabled or nothing matches).
+        The engine must still compute at least one token, so the hit is
+        capped at ``len(seq) - 1``.
+        """
+        if seq.request_id in self._bindings:
+            raise ValueError(f"request {seq.request_id!r} already active")
+        bindings = {g: GroupBinding() for g in self.specs}
+        self._bindings[seq.request_id] = bindings
+        if not self.enable_prefix_caching:
+            return 0
+
+        all_hashes: Dict[str, List[int]] = {}
+        valid: Dict[str, List[int]] = {}
+        for group_id in self.specs:
+            if self.specs[group_id].kind == VISION_EMBEDDING:
+                # Embeddings are *inputs* to prefill, not dependencies of
+                # future tokens: a prefix whose KV is cached needs no
+                # embeddings, so the vision group never constrains the
+                # model-wide hit (it is refilled by the encoder when the
+                # uncached remainder contains image tokens).
+                continue
+            policy = self.policies[group_id]
+            stream = self._stream_of(seq, group_id)
+            boundaries = policy.cacheable_boundaries(len(stream))
+            hashes = chain_hashes(stream, boundaries)
+            group = self.allocator.groups[group_id]
+            if self.host_pool is not None:
+                is_hit = [
+                    group.cache_index.probe(h) is not None
+                    or self.host_pool.probe(h) is not None
+                    for h in hashes
+                ]
+            else:
+                is_hit = [group.cache_index.probe(h) is not None for h in hashes]
+            all_hashes[group_id] = hashes
+            valid[group_id] = policy.get_possible_prefix(is_hit)
+
+        tags = {
+            g: s.accepted_tags for g, s in self.specs.items()
+            if s.kind != VISION_EMBEDDING
+        }
+        hit_global = longest_common_prefix(seq, valid, tags, max_global=len(seq) - 1)
+        self.lookup_tokens += len(seq)
+        if hit_global <= 0:
+            self.events.emit(PrefixHit(seq.request_id, 0, len(seq)))
+            return 0
+
+        acquired: List[Tuple[str, int]] = []
+        ok = True
+        for group_id, spec in self.specs.items():
+            if spec.kind == VISION_EMBEDDING:
+                continue  # embeddings are re-encoded, not acquired
+            policy = self.policies[group_id]
+            binding = bindings[group_id]
+            cached_stream = seq.stream_length(spec.accepted_tags, hit_global)
+            binding.cached_stream = cached_stream
+            binding.stream_len = cached_stream
+            binding.filled_upto = cached_stream
+            num_pages = policy.num_pages_for(cached_stream)
+            binding.page_table = [None] * num_pages
+            stream = self._stream_of(seq, group_id)
+            boundaries = policy.cacheable_boundaries(len(stream))
+            hashes = all_hashes[group_id]
+            needed = self._needed_hit_pages(policy, cached_stream, boundaries)
+            for block_idx in needed:
+                page = self.allocator.acquire_cached(
+                    group_id, hashes[block_idx], seq.request_id
+                )
+                if page is None and self.host_pool is not None:
+                    page = self._materialize_from_host(
+                        group_id, hashes[block_idx], seq, boundaries, block_idx
+                    )
+                if page is None:
+                    ok = False
+                    break
+                idx = policy.page_index_of_block(block_idx)
+                if idx >= len(binding.page_table):
+                    binding.page_table.extend(
+                        [None] * (idx + 1 - len(binding.page_table))
+                    )
+                binding.page_table[idx] = page.page_id
+                binding.held.add(idx)
+                acquired.append((group_id, page.page_id))
+            covered = 0
+            for b in boundaries:
+                if b > cached_stream:
+                    break
+                covered += 1
+            if covered:
+                binding.hash_state = hashes[covered - 1]
+                binding.hashed_upto = boundaries[covered - 1]
+                binding.hashed_blocks = covered
+            # Pages below the active frontier were never held.
+            binding.release_ptr = self._frontier(policy, seq.request_id, cached_stream)
+            if not ok:
+                break
+        if not ok:
+            # Racing eviction invalidated the hit; fall back to no hit.
+            for group_id, page_id in acquired:
+                self.allocator.release_page(group_id, page_id, cacheable=True)
+            for group_id in self.specs:
+                bindings[group_id] = GroupBinding()
+            self.events.emit(PrefixHit(seq.request_id, 0, len(seq)))
+            return 0
+        self.hit_tokens += hit_global
+        self.events.emit(PrefixHit(seq.request_id, hit_global, len(seq)))
+        return hit_global
+
+    def _needed_hit_pages(
+        self, policy: LayerTypePolicy, cached_stream: int, boundaries: Sequence[int]
+    ) -> List[int]:
+        """Hit blocks whose pages the request must actually hold.
+
+        Blocks outside the layer's active subset (e.g. out-of-window) stay
+        evictable -- the request never touches them again.  Mamba hits copy
+        the checkpoint into a fresh working state, so no reference is taken.
+        """
+        if policy.spec.kind == MAMBA:
+            return []
+        active = policy.active_page_indices(cached_stream)
+        needed = []
+        for block_idx, boundary in enumerate(boundaries):
+            if boundary > cached_stream:
+                break
+            if policy.page_index_of_block(block_idx) in active:
+                needed.append(block_idx)
+        return needed
+
+    def _register_hashes(
+        self,
+        seq: SequenceSpec,
+        group_id: str,
+        binding: GroupBinding,
+        stream_len: int,
+        now: float,
+    ) -> None:
+        policy = self.policies[group_id]
+        boundaries = policy.cacheable_boundaries(stream_len)
+        if len(boundaries) <= binding.hashed_blocks:
+            return
+        stream = self._stream_of(seq, group_id)
+        state = binding.hash_state if binding.hash_state is not None else _HASH_SEED
+        pos = binding.hashed_upto
+        group = self.allocator.groups[group_id]
+        for block_idx in range(binding.hashed_blocks, len(boundaries)):
+            boundary = boundaries[block_idx]
+            state = hash((state, tuple(stream[pos:boundary])))
+            pos = boundary
+            idx = policy.page_index_of_block(block_idx)
+            if idx in binding.held and binding.page_table[idx] is not None:
+                page = group.pages.get(binding.page_table[idx])
+                if page is not None and page.block_hash is None:
+                    self.allocator.register_block_hash(group_id, page, state)
+                    if policy.spec.kind == MAMBA:
+                        # Checkpoints go straight to evictable cache: stamp
+                        # creation time and release the working reference.
+                        page.last_access = now
+                        page.prefix_length = self._prefix_value(policy, idx, seq)
+                        binding.held.discard(idx)
+                        self.allocator.release_page(group_id, page.page_id, cacheable=True)
+                        binding.last_checkpoint_page = page.page_id
+        binding.hash_state = state
+        binding.hashed_upto = pos
+        binding.hashed_blocks = len(boundaries)
+
+    def _refresh_last_checkpoint(
+        self, group: GroupAllocator, binding: GroupBinding, now: float
+    ) -> None:
+        """Keep only the newest Mamba checkpoint's stamp fresh (§5.3)."""
+        page_id = binding.last_checkpoint_page
+        if page_id is None:
+            return
+        page = group.pages.get(page_id)
+        if page is None or not page.is_evictable:
+            return
+        page.last_access = now
+        self.allocator.touch_evictable(group.spec.group_id, page)
+
+    # ------------------------------------------------------------------
+    # Host-memory offload tier (Section 8 extension)
+    # ------------------------------------------------------------------
+
+    def _on_gpu_eviction(self, group_id: str, block_hash: int, page_bytes: int) -> None:
+        """Spill an evicted cached block to the host pool."""
+        assert self.host_pool is not None
+        self.host_pool.offload(block_hash, group_id, page_bytes)
+        self.events.emit(PageEvictedToHost(group_id, block_hash, page_bytes))
+
+    def _materialize_from_host(
+        self,
+        group_id: str,
+        block_hash: int,
+        seq: SequenceSpec,
+        boundaries: Sequence[int],
+        block_idx: int,
+    ) -> Optional[SmallPage]:
+        """Onload a host-resident block into a freshly allocated GPU page.
+
+        The transfer cost accrues against the request and is drained by
+        the engine via :meth:`take_onload_bytes`.
+        """
+        assert self.host_pool is not None
+        size = self.host_pool.onload(block_hash)
+        if size is None:
+            return None
+        page = self.allocator.allocate_page(group_id, seq.request_id)
+        if page is None:
+            return None
+        prev = boundaries[block_idx - 1] if block_idx > 0 else 0
+        tokens = boundaries[block_idx] - prev
+        group = self.allocator.groups[group_id]
+        group.note_fill(tokens - page.num_tokens)
+        page.num_tokens = tokens
+        self.allocator.register_block_hash(group_id, page, block_hash)
+        self._pending_onload_bytes[seq.request_id] = (
+            self._pending_onload_bytes.get(seq.request_id, 0) + size
+        )
+        return page
+
+    def take_onload_bytes(self, request_id: str) -> int:
+        """Drain the PCIe transfer debt accrued by host-pool hits."""
+        return self._pending_onload_bytes.pop(request_id, 0)
+
+    # ------------------------------------------------------------------
+    # Hit-rate accounting (Figure 17's metric)
+    # ------------------------------------------------------------------
+
+    def cache_hit_rates(self) -> Dict[str, float]:
+        return {g: self.allocator.groups[g].cache_index.hit_rate for g in self.specs}
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of looked-up prompt tokens served from cache."""
+        return self.hit_tokens / self.lookup_tokens if self.lookup_tokens else 0.0

@@ -1,0 +1,192 @@
+"""The formal KV-cache-manager protocol: the engine <-> memory seam.
+
+Historically the engine talked to its memory manager through an implicit
+duck-typed interface (attribute probes for ``kernel_slowdown`` and friends
+with hard-coded fallbacks).  This module names every method and property
+the engine is allowed to touch:
+
+* :class:`KVCacheManager` -- a :func:`typing.runtime_checkable`
+  :class:`~typing.Protocol`; ``isinstance(obj, KVCacheManager)`` verifies
+  an implementation structurally (the parametrized conformance test in
+  ``tests/test_protocol.py`` runs this over every registered manager).
+* :class:`KVCacheManagerBase` -- a concrete base class providing the
+  defaults optional members used to be duck-typed for (``kernel_slowdown``
+  of 1.0, a zero ``prefix_hit_rate``, no vision cache, no offload debt)
+  plus event-bus plumbing.  All in-tree managers -- Jenga, the four
+  baselines, and the spec-decode composite -- derive from it; new backends
+  should too, then register a factory in :mod:`repro.core.registry`.
+
+The request lifecycle the protocol encodes (see
+:class:`~repro.core.kv_manager.JengaKVCacheManager` for the reference
+implementation): ``begin_request`` -> repeated ``allocate_up_to`` +
+``commit`` -> ``release``; ``can_admit``/``can_allocate`` are the
+scheduler's capacity probes and ``stats`` the memory snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from .events import EventBus
+from .sequence import SequenceSpec
+from .two_level import AllocatorStats
+
+__all__ = ["KVCacheManager", "KVCacheManagerBase"]
+
+
+@runtime_checkable
+class KVCacheManager(Protocol):
+    """Everything the engine and scheduler may touch on a memory manager."""
+
+    name: str
+    events: EventBus
+
+    # -- request lifecycle ---------------------------------------------
+
+    def begin_request(self, seq: SequenceSpec) -> int:
+        """Register ``seq``; return the prefix-cache hit in global tokens."""
+        ...
+
+    def allocate_up_to(self, seq: SequenceSpec, target_global: int) -> bool:
+        """Back the first ``target_global`` tokens with pages (False: preempt)."""
+        ...
+
+    def allocate_vision(self, seq: SequenceSpec) -> bool:
+        """Allocate vision-embedding pages for all of ``seq``'s images."""
+        ...
+
+    def commit(
+        self, seq: SequenceSpec, computed_global: int, now: float, phase: str = "decode"
+    ) -> None:
+        """Record that the first ``computed_global`` tokens are computed."""
+        ...
+
+    def touch(self, seq: SequenceSpec, now: float) -> None:
+        """Refresh access stamps without committing new tokens."""
+        ...
+
+    def consume_vision(self, seq: SequenceSpec, upto_global: int) -> None:
+        """Free vision-embedding pages prefill has consumed."""
+        ...
+
+    def release(self, seq: SequenceSpec, cacheable: bool = True) -> None:
+        """Drop every reference ``seq`` holds (finish or preemption)."""
+        ...
+
+    # -- capacity probes / accounting ----------------------------------
+
+    def can_allocate(self, seq: SequenceSpec, target_global: int) -> bool:
+        """Optimistic probe: could ``seq`` grow to ``target_global`` now?"""
+        ...
+
+    def can_admit(
+        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
+    ) -> bool:
+        """Admission control: will the whole prompt's footprint ever fit?"""
+        ...
+
+    def stats(self) -> AllocatorStats:
+        """Point-in-time memory accounting."""
+        ...
+
+    def take_onload_bytes(self, request_id: str) -> int:
+        """Drain PCIe transfer debt accrued by host-offload cache hits."""
+        ...
+
+    # -- event plumbing -------------------------------------------------
+
+    def bind_events(self, events: EventBus) -> None:
+        """Adopt ``events`` as this manager's bus (propagating downward)."""
+        ...
+
+    # -- engine-facing properties ---------------------------------------
+
+    @property
+    def kernel_slowdown(self) -> float:
+        """Attention-kernel penalty of the page-layout strategy (§4.4)."""
+        ...
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of looked-up prompt tokens served from cache."""
+        ...
+
+    @property
+    def has_vision_cache(self) -> bool:
+        """Whether this manager caches vision-encoder outputs (§6.2)."""
+        ...
+
+
+class KVCacheManagerBase:
+    """Shared base class supplying the protocol's optional members.
+
+    Subclasses must implement the five core lifecycle/probe methods
+    (``begin_request``, ``allocate_up_to``, ``commit``, ``release``,
+    ``can_admit``) plus ``can_allocate`` and ``stats``; everything else has
+    a sensible default here, so a minimal backend (no vision cache, no
+    offload tier, LCM-layout kernels) only overrides what it customizes.
+    """
+
+    name = "abstract"
+
+    def __init__(self, events: Optional[EventBus] = None) -> None:
+        self.events: EventBus = events if events is not None else EventBus()
+
+    def bind_events(self, events: EventBus) -> None:
+        self.events = events
+
+    # -- required lifecycle (abstract) ----------------------------------
+
+    def begin_request(self, seq: SequenceSpec) -> int:
+        raise NotImplementedError
+
+    def allocate_up_to(self, seq: SequenceSpec, target_global: int) -> bool:
+        raise NotImplementedError
+
+    def commit(
+        self, seq: SequenceSpec, computed_global: int, now: float, phase: str = "decode"
+    ) -> None:
+        raise NotImplementedError
+
+    def release(self, seq: SequenceSpec, cacheable: bool = True) -> None:
+        raise NotImplementedError
+
+    def can_allocate(self, seq: SequenceSpec, target_global: int) -> bool:
+        raise NotImplementedError
+
+    def can_admit(
+        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
+    ) -> bool:
+        raise NotImplementedError
+
+    def stats(self) -> AllocatorStats:
+        raise NotImplementedError
+
+    # -- optional members with defaults ---------------------------------
+
+    def allocate_vision(self, seq: SequenceSpec) -> bool:
+        return True
+
+    def consume_vision(self, seq: SequenceSpec, upto_global: int) -> None:
+        return None
+
+    def touch(self, seq: SequenceSpec, now: float) -> None:
+        return None
+
+    def take_onload_bytes(self, request_id: str) -> int:
+        return 0
+
+    def cache_hit_rates(self) -> Dict[str, float]:
+        return {}
+
+    @property
+    def kernel_slowdown(self) -> float:
+        return 1.0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        return 0.0
+
+    @property
+    def has_vision_cache(self) -> bool:
+        return False

@@ -33,6 +33,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from .events import EventBus, LargePageCarved, PageAllocated, PageEvicted, PageReleased
 from .evictor import LRUEvictor
 from .layer_policy import GroupSpec, LayerTypePolicy
 from .lcm_allocator import LCMAllocator
@@ -159,6 +160,7 @@ class TwoLevelAllocator:
         strategy: str = "lcm",
         enable_prefix_caching: bool = True,
         request_aware: bool = True,
+        events: Optional[EventBus] = None,
     ) -> None:
         if set(specs) != set(policies):
             raise ValueError("specs and policies must cover the same groups")
@@ -182,6 +184,10 @@ class TwoLevelAllocator:
         # (group_id, block_hash, page_bytes).  The KV manager uses it to
         # spill evicted blocks to a host-memory offload tier (Section 8).
         self.eviction_listener = None
+        # Event bus receiving PageAllocated/LargePageCarved/PageEvicted/
+        # PageReleased records; None keeps emission free for direct
+        # constructions (property tests, micro-benchmarks).
+        self.events = events
 
     # ------------------------------------------------------------------
     # The five-step allocation algorithm
@@ -199,42 +205,67 @@ class TwoLevelAllocator:
             # Ablation mode: naive first-fit over any empty small page.
             page = group.pop_free_any()
             if page is not None:
-                return self._activate(group, page, request_id)
+                return self._took(group, page, request_id, step=4)
 
         # Step 1: request-associated empty small page.
         page = group.pop_free(request_id)
         if page is not None:
-            return self._activate(group, page, request_id)
+            return self._took(group, page, request_id, step=1)
 
         # Step 2: carve a fresh large page.
         if self.lcm.has_free():
             page = self._carve_and_take(group, request_id)
-            return self._activate(group, page, request_id)
+            return self._took(group, page, request_id, step=2)
 
         # Step 3: evict a fully-evictable large page (any group's).
         if len(self.large_evictor):
-            victim_id = self.large_evictor.evict()
+            victim_id, last_access, prefix_length = self.large_evictor.evict_with_key()
+            victim_group = self.lcm.page(victim_id).owner_group
             self._evict_large_page(victim_id)
             self.num_large_evictions += 1
+            if self.events is not None:
+                self.events.emit(PageEvicted(
+                    victim_group, victim_id, "large", last_access, prefix_length
+                ))
             page = self._carve_and_take(group, request_id)
-            return self._activate(group, page, request_id)
+            return self._took(group, page, request_id, step=3)
 
         # Step 4: any empty small page of this group.
         page = group.pop_free_any()
         if page is not None:
-            return self._activate(group, page, request_id)
+            return self._took(group, page, request_id, step=4)
 
         # Step 5: evict an evictable small page of this group.
         if len(group.evictor):
-            victim = group.pages[group.evictor.evict()]
+            victim_id, last_access, prefix_length = group.evictor.evict_with_key()
+            victim = group.pages[victim_id]
             self._reclaim_evictable(group, victim)
             group.num_evictions += 1
-            return self._activate(group, victim, request_id)
+            if self.events is not None:
+                self.events.emit(PageEvicted(
+                    group_id, victim_id, "small", last_access, prefix_length
+                ))
+            return self._took(group, victim, request_id, step=5)
 
         return None
 
+    def _took(
+        self, group: GroupAllocator, page: SmallPage, request_id: str, step: int
+    ) -> SmallPage:
+        """Activate ``page`` and publish which §5.4 step satisfied the need."""
+        page = self._activate(group, page, request_id)
+        if self.events is not None:
+            self.events.emit(PageAllocated(
+                group.spec.group_id, request_id, page.page_id, step
+            ))
+        return page
+
     def _carve_and_take(self, group: GroupAllocator, request_id: str) -> SmallPage:
         large = self.lcm.allocate(group.spec.group_id)
+        if self.events is not None:
+            self.events.emit(LargePageCarved(
+                group.spec.group_id, large.page_id, group.small_per_large
+            ))
         self._large_counts[large.page_id] = [group.small_per_large, 0, 0]
         first: Optional[SmallPage] = None
         for slot in range(group.small_per_large):
@@ -274,13 +305,16 @@ class TwoLevelAllocator:
         page.ref_count -= 1
         if page.ref_count > 0:
             return
-        if cacheable and self.enable_prefix_caching and page.block_hash is not None:
+        cached = cacheable and self.enable_prefix_caching and page.block_hash is not None
+        if cached:
             group.note_fill(-page.num_tokens)
             self._bump(page, PageState.USED, PageState.EVICTABLE)
             page.state = PageState.EVICTABLE
             group.evictor.add(page.page_id, page.last_access, page.prefix_length)
         else:
             self._free_page(group, page)
+        if self.events is not None:
+            self.events.emit(PageReleased(group_id, page_id, cached))
 
     def acquire_cached(
         self, group_id: str, block_hash: int, request_id: str

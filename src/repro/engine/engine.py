@@ -13,10 +13,24 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..core.events import (
+    EventBus,
+    RequestAdmitted,
+    RequestFailed,
+    RequestFinished,
+    RequestPreempted,
+    StepCompleted,
+)
 from ..engine.cost_model import CostModel, StepWork
 from ..models.config import ModelSpec
 from ..platforms.gpu import GPU
-from .metrics import EngineMetrics, MemorySnapshot, RequestMetrics, StepRecord
+from .metrics import (
+    EngineMetrics,
+    MemorySnapshot,
+    MetricsCollector,
+    RequestMetrics,
+    StepRecord,
+)
 from .request import Request, RequestState
 from .scheduler import SchedulerConfig, WaitingQueue
 
@@ -29,12 +43,17 @@ class LLMEngine:
     Args:
         model: Architecture being served.
         gpu: Platform envelope (drives the cost model).
-        manager: KV-cache manager under test -- a
-            :class:`~repro.core.kv_manager.JengaKVCacheManager` or any
-            baseline from :mod:`repro.baselines` (same interface).
+        manager: KV-cache manager under test -- any implementation of the
+            :class:`~repro.core.protocols.KVCacheManager` protocol
+            (:class:`~repro.core.kv_manager.JengaKVCacheManager` or a
+            baseline from :mod:`repro.baselines`).
         config: Scheduler knobs.
         cost_model: Override the default roofline cost model (tests use a
             unit-cost model for determinism).
+        events: Event bus the whole stack publishes to.  The engine owns
+            one bus per instance (so per-engine metrics stay exact even
+            when managers share an allocator) and rebinds the manager onto
+            it; pass a bus explicitly to share it across components.
     """
 
     def __init__(
@@ -44,28 +63,35 @@ class LLMEngine:
         manager,
         config: Optional[SchedulerConfig] = None,
         cost_model: Optional[CostModel] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         self.model = model
         self.gpu = gpu
         self.manager = manager
         self.config = config or SchedulerConfig()
         self.cost = cost_model or CostModel(
-            model, gpu, kernel_slowdown=getattr(manager, "kernel_slowdown", 1.0)
+            model, gpu, kernel_slowdown=manager.kernel_slowdown
         )
+        self.events = events if events is not None else EventBus()
+        manager.bind_events(self.events)
+        self.collector = MetricsCollector(self.events)
         self.clock = 0.0
-        self.waiting = WaitingQueue()
+        self.waiting = WaitingQueue(events=self.events)
         self.running: List[Request] = []
         self.finished: List[RequestMetrics] = []
         self.failed: List[Request] = []
-        self.steps: List[StepRecord] = []
         self._step_index = 0
-        self._preemptions_total = 0
         # Back-pressure: after a step that preempted, hold off admitting
         # new requests for a cooldown window (vLLM's scheduler likewise
         # stops feeding the waiting queue while preemption is happening) --
         # otherwise admission and preemption ping-pong and the engine
         # endlessly re-prefills long prompts.
         self._admission_cooldown = 0
+
+    @property
+    def steps(self) -> List[StepRecord]:
+        """Per-step records, accumulated by the event-bus collector."""
+        return self.collector.steps
 
     # ------------------------------------------------------------------
     # Public API
@@ -93,7 +119,10 @@ class LLMEngine:
         return EngineMetrics(
             steps=list(self.steps),
             requests=list(self.finished),
-            prefix_hit_rate=getattr(self.manager, "prefix_hit_rate", 0.0),
+            prefix_hit_rate=self.manager.prefix_hit_rate,
+            preemptions=self.collector.preemptions,
+            prefix_hit_tokens=self.collector.prefix_hit_tokens,
+            prefix_lookup_tokens=self.collector.prefix_lookup_tokens,
         )
 
     # ------------------------------------------------------------------
@@ -194,18 +223,28 @@ class LLMEngine:
             num_preemptions=step_preemptions,
             memory=self._memory_snapshot() if self.config.record_memory else None,
         )
-        self.steps.append(record)
-        self._step_index += 1
-        self._preemptions_total += step_preemptions
-        if step_preemptions:
-            self._admission_cooldown = self._PREEMPTION_COOLDOWN_STEPS
-        elif self._admission_cooldown:
-            self._admission_cooldown -= 1
-        return record
+        return self._complete_step(record)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _complete_step(self, record: StepRecord) -> StepRecord:
+        """Step bookkeeping shared with subclasses: index, admission
+        cooldown, and the :class:`StepCompleted` emission (which is what
+        appends ``record`` to :attr:`steps` via the collector)."""
+        self._step_index += 1
+        if record.num_preemptions:
+            self._admission_cooldown = self._PREEMPTION_COOLDOWN_STEPS
+        elif self._admission_cooldown:
+            self._admission_cooldown -= 1
+        self.events.emit(StepCompleted(
+            record.index,
+            record.start_time + record.duration,
+            record.num_preemptions,
+            record,
+        ))
+        return record
 
     @staticmethod
     def _is_decode(request: Request) -> bool:
@@ -235,6 +274,7 @@ class LLMEngine:
                     self.waiting.pop_ready(now)
                     request.state = RequestState.FINISHED
                     self.failed.append(request)
+                    self.events.emit(RequestFailed(request.request_id, now))
                     continue
                 break
             if self.model.vision is not None and seq.image_spans and not request.encoder_done:
@@ -245,6 +285,7 @@ class LLMEngine:
                             self.waiting.pop_ready(now)
                             request.state = RequestState.FINISHED
                             self.failed.append(request)
+                            self.events.emit(RequestFailed(request.request_id, now))
                             continue
                         break
                 # The encoder runs once at admission.  Without an embedding
@@ -255,15 +296,14 @@ class LLMEngine:
             self.waiting.pop_ready(now)
             # Blocks served from the host offload tier transfer over PCIe
             # this step instead of being recomputed.
-            take = getattr(self.manager, "take_onload_bytes", None)
-            if take is not None:
-                work.offload_read_bytes += take(seq.request_id)
+            work.offload_read_bytes += self.manager.take_onload_bytes(seq.request_id)
             request.num_computed_tokens = hit
             if request.first_scheduled_time is None:
                 request.first_scheduled_time = now
                 request.cached_prompt_tokens = hit
             request.state = RequestState.RUNNING
             self.running.append(request)
+            self.events.emit(RequestAdmitted(request.request_id, now, cached_tokens=hit))
             # Keep running sorted by arrival so scheduling priority (and
             # victim choice: latest arrival first) is stable across
             # preempt/readmit cycles; otherwise a readmitted early request
@@ -303,7 +343,7 @@ class LLMEngine:
                     # never fit (the paper's Ministral-on-L4 vLLM failure).
                     self._fail(request)
                 else:
-                    self._preempt(request)
+                    self._preempt(request, reason="self")
                 preemptions += 1
                 return False, preemptions
             self._preempt(victim)
@@ -315,10 +355,11 @@ class LLMEngine:
                 return candidate
         return None
 
-    def _preempt(self, victim: Request) -> None:
+    def _preempt(self, victim: Request, reason: str = "victim") -> None:
         self.manager.release(victim.seq, cacheable=True)
         victim.reset_for_recompute()
         self.running.remove(victim)
+        self.events.emit(RequestPreempted(victim.request_id, self.clock, reason=reason))
         self.waiting.push(victim)
 
     def _fail(self, request: Request) -> None:
@@ -327,6 +368,7 @@ class LLMEngine:
         if request in self.running:
             self.running.remove(request)
         self.failed.append(request)
+        self.events.emit(RequestFailed(request.request_id, self.clock))
 
     def _finalize(self, request: Request, n: int, end: float) -> None:
         request.num_computed_tokens += n
@@ -356,6 +398,7 @@ class LLMEngine:
         request.finish_time = end
         self.manager.release(request.seq, cacheable=True)
         self.running.remove(request)
+        self.events.emit(RequestFinished(request.request_id, end))
         self.finished.append(
             RequestMetrics(
                 request_id=request.request_id,

@@ -11,7 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["StepRecord", "RequestMetrics", "EngineMetrics", "MemorySnapshot"]
+from ..core.events import Event, EventBus, PrefixHit, RequestPreempted, StepCompleted
+
+__all__ = [
+    "StepRecord",
+    "RequestMetrics",
+    "EngineMetrics",
+    "MemorySnapshot",
+    "MetricsCollector",
+]
 
 
 @dataclass(frozen=True)
@@ -74,6 +82,37 @@ class RequestMetrics:
         return (self.finish_time - self.first_token_time) / (self.output_len - 1)
 
 
+class MetricsCollector:
+    """Event-bus consumer that rebuilds the engine's running counters.
+
+    The engine does not maintain a step list or preemption tally itself;
+    it emits :class:`~repro.core.events.StepCompleted` /
+    :class:`~repro.core.events.RequestPreempted` /
+    :class:`~repro.core.events.PrefixHit` records, and this collector --
+    subscribed to the engine's bus -- accumulates them.  Any other
+    consumer (a live dashboard, a trace writer) can subscribe alongside
+    without the engine knowing.
+    """
+
+    def __init__(self, events: EventBus) -> None:
+        self.events = events
+        self.steps: List[StepRecord] = []
+        self.preemptions = 0
+        self.prefix_hit_tokens = 0
+        self.prefix_lookup_tokens = 0
+        events.subscribe(self._on_event, [StepCompleted, RequestPreempted, PrefixHit])
+
+    def _on_event(self, event: Event) -> None:
+        if isinstance(event, StepCompleted):
+            if event.record is not None:
+                self.steps.append(event.record)
+        elif isinstance(event, RequestPreempted):
+            self.preemptions += 1
+        elif isinstance(event, PrefixHit):
+            self.prefix_hit_tokens += event.hit_tokens
+            self.prefix_lookup_tokens += event.lookup_tokens
+
+
 @dataclass
 class EngineMetrics:
     """Aggregated simulation results."""
@@ -81,6 +120,10 @@ class EngineMetrics:
     steps: List[StepRecord] = field(default_factory=list)
     requests: List[RequestMetrics] = field(default_factory=list)
     prefix_hit_rate: float = 0.0
+    # Event-bus-derived tallies (see MetricsCollector).
+    preemptions: int = 0
+    prefix_hit_tokens: int = 0
+    prefix_lookup_tokens: int = 0
 
     @property
     def makespan(self) -> float:

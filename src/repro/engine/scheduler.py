@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
+from ..core.events import EventBus, RequestQueued
 from .request import Request
 
 __all__ = ["SchedulerConfig", "PROFILES", "profile_config"]
@@ -78,10 +79,15 @@ class WaitingQueue:
 
     Preempted requests re-enter at the *front* (they have the oldest
     arrival times, so FCFS order is preserved by sorting on arrival).
+
+    When built with an event bus, every push publishes a
+    :class:`~repro.core.events.RequestQueued` record (both fresh arrivals
+    and preempted requests re-entering the queue).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, events: Optional[EventBus] = None) -> None:
         self._items: List[Request] = []
+        self.events = events
 
     def __len__(self) -> int:
         return len(self._items)
@@ -92,6 +98,8 @@ class WaitingQueue:
     def push(self, request: Request) -> None:
         self._items.append(request)
         self._items.sort(key=lambda r: r.arrival_time)
+        if self.events is not None:
+            self.events.emit(RequestQueued(request.request_id, request.arrival_time))
 
     def peek_ready(self, now: float) -> Optional[Request]:
         if self._items and self._items[0].arrival_time <= now:

@@ -25,6 +25,7 @@ import random
 from typing import List, Optional, Set, Tuple
 
 from ..core.kv_manager import JengaKVCacheManager
+from ..core.registry import create_manager, register_manager
 from ..baselines.manual_spec import manual_spec_managers
 from ..baselines.max_page import MaxPageManager
 from ..models.config import ModelSpec
@@ -38,6 +39,64 @@ from .scheduler import SchedulerConfig
 __all__ = ["SpecDecodeEngine", "make_spec_manager"]
 
 
+def _pair_groups(draft: ModelSpec, target: ModelSpec, tokens_per_page: int):
+    groups = {}
+    groups.update(target.kv_groups(tokens_per_page, group_prefix="target/"))
+    groups.update(draft.kv_groups(tokens_per_page, group_prefix="draft/"))
+    return groups
+
+
+@register_manager("jenga", kind="spec")
+def _make_spec_jenga(
+    draft: ModelSpec,
+    target: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = False,
+    max_num_seqs: int = 256,
+):
+    return JengaKVCacheManager(
+        _pair_groups(draft, target, tokens_per_page),
+        kv_bytes,
+        enable_prefix_caching=enable_prefix_caching,
+    )
+
+
+@register_manager("vllm-max", kind="spec")
+def _make_spec_max(
+    draft: ModelSpec,
+    target: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = False,
+    max_num_seqs: int = 256,
+):
+    return MaxPageManager(
+        _pair_groups(draft, target, tokens_per_page),
+        kv_bytes,
+        enable_prefix_caching=enable_prefix_caching,
+    )
+
+
+@register_manager("vllm-manual", kind="spec")
+def _make_spec_manual(
+    draft: ModelSpec,
+    target: ModelSpec,
+    kv_bytes: int,
+    tokens_per_page: int = 16,
+    enable_prefix_caching: bool = False,
+    max_num_seqs: int = 256,
+):
+    return manual_spec_managers(
+        draft,
+        target,
+        kv_bytes,
+        tokens_per_page=tokens_per_page,
+        enable_prefix_caching=enable_prefix_caching,
+        max_num_seqs=max_num_seqs,
+    )
+
+
 def make_spec_manager(
     system: str,
     draft: ModelSpec,
@@ -47,31 +106,17 @@ def make_spec_manager(
     enable_prefix_caching: bool = False,
     max_num_seqs: int = 256,
 ):
-    """KV manager serving a draft/target pair, by system name."""
-    if system == "jenga":
-        groups = {}
-        groups.update(target.kv_groups(tokens_per_page, group_prefix="target/"))
-        groups.update(draft.kv_groups(tokens_per_page, group_prefix="draft/"))
-        return JengaKVCacheManager(
-            groups, kv_bytes, enable_prefix_caching=enable_prefix_caching
-        )
-    if system == "vllm-max":
-        groups = {}
-        groups.update(target.kv_groups(tokens_per_page, group_prefix="target/"))
-        groups.update(draft.kv_groups(tokens_per_page, group_prefix="draft/"))
-        return MaxPageManager(
-            groups, kv_bytes, enable_prefix_caching=enable_prefix_caching
-        )
-    if system == "vllm-manual":
-        return manual_spec_managers(
-            draft,
-            target,
-            kv_bytes,
-            tokens_per_page=tokens_per_page,
-            enable_prefix_caching=enable_prefix_caching,
-            max_num_seqs=max_num_seqs,
-        )
-    raise KeyError(f"unknown speculative-decoding system {system!r}")
+    """KV manager serving a draft/target pair, by registered system name."""
+    return create_manager(
+        system,
+        "spec",
+        draft,
+        target,
+        kv_bytes,
+        tokens_per_page=tokens_per_page,
+        enable_prefix_caching=enable_prefix_caching,
+        max_num_seqs=max_num_seqs,
+    )
 
 
 class SpecDecodeEngine(LLMEngine):
@@ -93,7 +138,7 @@ class SpecDecodeEngine(LLMEngine):
         self.k = num_speculative_tokens
         self.acceptance_rate = acceptance_rate
         self._rng = random.Random(seed)
-        slowdown = getattr(manager, "kernel_slowdown", 1.0)
+        slowdown = manager.kernel_slowdown
         self.draft_cost = CostModel(draft, gpu, kernel_slowdown=slowdown)
         self.target_cost = CostModel(target, gpu, kernel_slowdown=slowdown)
 
@@ -238,13 +283,7 @@ class SpecDecodeEngine(LLMEngine):
             num_preemptions=step_preemptions,
             memory=self._memory_snapshot() if self.config.record_memory else None,
         )
-        self.steps.append(record)
-        self._step_index += 1
-        if step_preemptions:
-            self._admission_cooldown = self._PREEMPTION_COOLDOWN_STEPS
-        elif self._admission_cooldown:
-            self._admission_cooldown -= 1
-        return record
+        return self._complete_step(record)
 
     def _finalize_spec_decode(self, request: Request, g: int, end: float) -> None:
         request.num_computed_tokens += g

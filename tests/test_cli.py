@@ -57,3 +57,16 @@ class TestCommands:
     def test_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["throughput", "--model", "llama3-8b", "--workload", "secret"])
+
+    def test_unknown_system_lists_registered(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["throughput", "--model", "llama3-8b", "--systems",
+                  "vllm,triton", "--requests", "1"])
+        message = str(exc.value)
+        assert "triton" in message
+        assert "jenga" in message and "vllm" in message
+
+    def test_empty_systems_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["latency", "--model", "llama3-8b", "--systems", " , ",
+                  "--requests", "1"])
