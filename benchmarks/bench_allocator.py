@@ -1,0 +1,78 @@
+"""Allocator/scheduler microbenchmark -- seeds the repo's perf trajectory.
+
+Unlike the ``bench_fig*`` files (paper-figure reproductions), this one
+measures the implementation itself: allocation churn ops/sec across pool
+sizes, WaitingQueue cost across queue depths, and wall-clock step latency
+of a full synthetic serving run.  It emits ``BENCH_alloc.json`` so CI can
+accumulate a baseline over time, and every run cross-validates
+``stats()`` against ``stats_slow()`` and ``check_invariants()`` at
+checkpoints.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_allocator.py [--smoke] \
+        [--output BENCH_alloc.json] [--seed 0]
+
+Also collected by ``pytest benchmarks/`` (smoke scale) and exposed as
+``python -m repro.cli bench-alloc``.
+"""
+
+import argparse
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct script run without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.alloc import run_benchmark
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced scale for CI (seconds, not minutes)")
+    parser.add_argument("--output", default="BENCH_alloc.json",
+                        help="where to write the JSON payload")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    payload = run_benchmark(output=args.output, smoke=args.smoke, seed=args.seed)
+    ratio = payload["churn"]["scaling_ratio_p50"]
+    print(f"churn p50 scaling ratio (largest pool / smallest): {ratio:.2f}")
+    return 0
+
+
+def test_bench_allocator_smoke(benchmark):
+    """Pytest-benchmark entry point at smoke scale (results/ artifact)."""
+    from common import RESULTS_DIR, save_result
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    out = os.path.join(RESULTS_DIR, "BENCH_alloc.json")
+
+    payload = benchmark.pedantic(
+        lambda: run_benchmark(output=out, smoke=True, verbose=False),
+        rounds=1, iterations=1,
+    )
+    lines = ["allocator microbenchmark (smoke scale)"]
+    for cell in payload["churn"]["sweep"]:
+        lines.append(
+            f"churn  large={cell['num_large_pages']:>5}  "
+            f"{cell['ops_per_sec']:>12,.0f} ops/s  p50 {cell['p50_us']:.2f}us"
+        )
+    for cell in payload["queue"]["sweep"]:
+        lines.append(
+            f"queue  depth={cell['depth']:>5}  "
+            f"{cell['ops_per_sec']:>12,.0f} ops/s  p50 {cell['p50_us']:.2f}us"
+        )
+    eng = payload["engine"]
+    lines.append(
+        f"engine {eng['steps']} steps  {eng['steps_per_sec']:,.0f} steps/s  "
+        f"p99 {eng['step_p99_ms']:.3f}ms"
+    )
+    save_result("bench_allocator", "\n".join(lines))
+    assert payload["invariant_checkpoints"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Self-measuring performance harnesses (the repo's perf trajectory).
+
+Unlike :mod:`benchmarks` (which regenerates the paper's figures), this
+package measures the *implementation itself* -- allocator ops/sec, step
+latencies -- and emits machine-readable ``BENCH_*.json`` baselines that
+CI accumulates so hot-path regressions are visible over time.
+"""
+
+from .alloc import run_benchmark
+
+__all__ = ["run_benchmark"]

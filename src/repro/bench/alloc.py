@@ -1,0 +1,311 @@
+"""Allocation microbenchmark: churn ops/sec, scaling sweeps, engine steps.
+
+Three workloads, each cross-checked against the allocator's own
+invariants at checkpoints (``stats()`` == ``stats_slow()``,
+``check_invariants()``), so the numbers can never come from a silently
+corrupted allocator:
+
+* **churn** -- randomized allocate / release / acquire_cached cycles over
+  heterogeneous groups (different small-page sizes sharing one LCM pool),
+  swept across pool sizes.  With the indexed free pool and incremental
+  large-page priority, per-op cost must stay flat as the pool grows; the
+  sweep's ``scaling_ratio`` (p50 at the largest pool / p50 at the
+  smallest) makes that visible in ``BENCH_alloc.json``.
+* **queue** -- steady-state push/pop on the scheduler's
+  :class:`~repro.engine.scheduler.WaitingQueue` swept across standing
+  queue depths; heap-backed, so cost must not grow with depth.
+* **engine** -- a full synthetic serving run (continuous batching,
+  prefix caching, preemption) under memory pressure, reporting wall-clock
+  steps/sec and p50/p99 step latency.
+
+Run via ``python benchmarks/bench_allocator.py [--smoke]`` or
+``python -m repro.cli bench-alloc``; both write ``BENCH_alloc.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional
+
+from ..core.layer_policy import FULL_ATTENTION, SLIDING_WINDOW, GroupSpec, make_policy
+from ..core.sequence import TEXT
+from ..core.two_level import TwoLevelAllocator
+from ..engine.request import Request
+from ..engine.scheduler import WaitingQueue, profile_config
+from ..models import get_model
+from ..platforms import L4, kv_budget
+
+__all__ = ["run_benchmark", "churn_bench", "queue_bench", "engine_bench"]
+
+_TEXT = frozenset({TEXT})
+
+# Heterogeneous layer-type groups: 256/384/640-byte small pages share
+# 3840-byte large pages (15 / 10 / 6 small pages per large).
+_GROUP_SPECS = {
+    "full": dict(kind=FULL_ATTENTION, per_token_bytes=64),
+    "win": dict(kind=SLIDING_WINDOW, per_token_bytes=96, window=16),
+    "big": dict(kind=FULL_ATTENTION, per_token_bytes=160),
+}
+_LARGE_PAGE_BYTES = 3840
+
+
+def _make_allocator(num_large: int) -> TwoLevelAllocator:
+    specs = {
+        name: GroupSpec(
+            name, kw["kind"], 1, kw["per_token_bytes"], tokens_per_page=4,
+            window=kw.get("window"), accepted_tags=_TEXT,
+        )
+        for name, kw in _GROUP_SPECS.items()
+    }
+    policies = {g: make_policy(s) for g, s in specs.items()}
+    return TwoLevelAllocator(
+        _LARGE_PAGE_BYTES * num_large, specs, policies, enable_prefix_caching=True
+    )
+
+
+def _percentiles(latencies_s: List[float]) -> Dict[str, float]:
+    """p50/p99 in microseconds from a list of per-op seconds."""
+    if not latencies_s:
+        return {"p50_us": 0.0, "p99_us": 0.0}
+    ordered = sorted(latencies_s)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)]
+    return {"p50_us": p50 * 1e6, "p99_us": p99 * 1e6}
+
+
+def _assert_stats_equal(alloc: TwoLevelAllocator) -> None:
+    fast, slow = alloc.stats(), alloc.stats_slow()
+    assert fast.used_bytes_by_group == slow.used_bytes_by_group, (fast, slow)
+    assert fast.evictable_bytes_by_group == slow.evictable_bytes_by_group, (fast, slow)
+    assert fast.internal_frag_bytes == slow.internal_frag_bytes, (fast, slow)
+    assert fast.partial_fill_bytes == slow.partial_fill_bytes, (fast, slow)
+    assert fast.free_bytes == slow.free_bytes, (fast, slow)
+
+
+def churn_bench(num_large: int, num_ops: int, seed: int = 0,
+                checkpoint_every: int = 2000) -> Dict:
+    """Randomized allocate/release/acquire churn over one allocator."""
+    alloc = _make_allocator(num_large)
+    rng = random.Random(seed)
+    group_ids = list(alloc.groups)
+    live = []  # (group_id, page) with one reference each
+    hashes: List = []  # (group_id, block_hash) ever registered
+    next_hash = 0
+    lat: Dict[str, List[float]] = {"allocate": [], "release": [], "acquire": []}
+    checkpoints = 0
+
+    for i in range(num_ops):
+        roll = rng.random()
+        if not live or roll < 0.50:
+            gid = group_ids[rng.randrange(len(group_ids))]
+            rid = f"r{rng.randrange(32)}"
+            t0 = time.perf_counter()
+            page = alloc.allocate_page(gid, rid)
+            lat["allocate"].append(time.perf_counter() - t0)
+            if page is not None:
+                page.last_access = float(i)
+                page.num_tokens = 4
+                # Filled-token accounting normally done by the KV manager.
+                alloc.groups[gid].note_fill(page.num_tokens)
+                live.append((gid, page))
+        elif roll < 0.85 or not hashes:
+            gid, page = live.pop(rng.randrange(len(live)))
+            cacheable = rng.random() < 0.5
+            if cacheable:
+                next_hash += 1
+                alloc.register_block_hash(gid, page, next_hash)
+                hashes.append((gid, next_hash))
+            t0 = time.perf_counter()
+            alloc.release_page(gid, page.page_id, cacheable=cacheable)
+            lat["release"].append(time.perf_counter() - t0)
+        else:
+            gid, block_hash = hashes[rng.randrange(len(hashes))]
+            rid = f"r{rng.randrange(32)}"
+            t0 = time.perf_counter()
+            page = alloc.acquire_cached(gid, block_hash, rid)
+            lat["acquire"].append(time.perf_counter() - t0)
+            if page is not None:
+                live.append((gid, page))
+        if (i + 1) % checkpoint_every == 0:
+            _assert_stats_equal(alloc)
+            alloc.check_invariants()
+            checkpoints += 1
+
+    _assert_stats_equal(alloc)
+    alloc.check_invariants()
+    alloc.check_no_physical_overlap()
+    checkpoints += 1
+
+    all_lat = [dt for series in lat.values() for dt in series]
+    result = {
+        "num_large_pages": num_large,
+        "small_per_large": {g: a.small_per_large for g, a in alloc.groups.items()},
+        "ops": num_ops,
+        "ops_per_sec": num_ops / max(sum(all_lat), 1e-12),
+        "small_evictions": sum(g.num_evictions for g in alloc.groups.values()),
+        "large_evictions": alloc.num_large_evictions,
+        "invariant_checkpoints": checkpoints,
+        **_percentiles(all_lat),
+    }
+    for op, series in lat.items():
+        result[op] = {"count": len(series), **_percentiles(series)}
+    return result
+
+
+def queue_bench(depth: int, num_ops: int, seed: int = 0) -> Dict:
+    """Steady-state WaitingQueue push+pop cost at a standing depth."""
+    rng = random.Random(seed)
+    queue = WaitingQueue()
+    for i in range(depth):
+        queue.push(Request.text(f"q{i}", [1, 2, 3], 4,
+                                arrival_time=rng.random() * 100.0))
+    lat: List[float] = []
+    for _ in range(num_ops):
+        t0 = time.perf_counter()
+        request = queue.pop_ready(now=float("inf"))
+        lat.append(time.perf_counter() - t0)
+        assert request is not None
+        request.arrival_time = rng.random() * 100.0
+        t0 = time.perf_counter()
+        queue.push(request)
+        lat.append(time.perf_counter() - t0)
+    assert len(queue) == depth
+    return {
+        "depth": depth,
+        "ops": 2 * num_ops,
+        "ops_per_sec": (2 * num_ops) / max(sum(lat), 1e-12),
+        **_percentiles(lat),
+    }
+
+
+def engine_bench(num_requests: int, seed: int = 0, max_steps: int = 50_000) -> Dict:
+    """Full synthetic serving run under memory pressure."""
+    # Imported lazily: the engine pulls in the whole stack and the churn
+    # benchmarks should stay importable in isolation.
+    from ..core.registry import create_manager
+    from ..engine.engine import LLMEngine
+    from ..workloads import sharegpt
+
+    model = get_model("gemma2-9b")
+    # A quarter of the real L4 budget forces eviction and preemption
+    # traffic, which is where allocator cost shows up.
+    kv_bytes = kv_budget(model, L4).kv_bytes // 4
+    manager = create_manager("jenga", "model", model, kv_bytes,
+                             enable_prefix_caching=True)
+    engine = LLMEngine(model, L4, manager, config=profile_config("vllm"))
+    engine.add_requests(sharegpt(num_requests, seed=seed))
+
+    step_lat: List[float] = []
+    while len(step_lat) < max_steps:
+        t0 = time.perf_counter()
+        record = engine.step()
+        if record is None:
+            break
+        step_lat.append(time.perf_counter() - t0)
+
+    _assert_stats_equal(manager.allocator)
+    manager.allocator.check_invariants()
+    metrics = engine.metrics()
+    total_tokens = sum(r.prompt_len + r.output_len for r in metrics.requests)
+    wall = max(sum(step_lat), 1e-12)
+    pcts = _percentiles(step_lat)
+    return {
+        "model": model.name,
+        "requests": num_requests,
+        "finished": len(metrics.requests),
+        "steps": len(step_lat),
+        "steps_per_sec": len(step_lat) / wall,
+        "sim_tokens_per_wall_sec": total_tokens / wall,
+        "preemptions": metrics.preemptions,
+        "step_p50_ms": pcts["p50_us"] / 1e3,
+        "step_p99_ms": pcts["p99_us"] / 1e3,
+    }
+
+
+_FULL_SCALE = {
+    "churn_sizes": [64, 256, 1024],
+    "churn_ops": 60_000,
+    "queue_depths": [100, 1_000, 10_000],
+    "queue_ops": 20_000,
+    "engine_requests": 80,
+}
+_SMOKE_SCALE = {
+    "churn_sizes": [16, 64],
+    "churn_ops": 6_000,
+    "queue_depths": [50, 500],
+    "queue_ops": 2_000,
+    "engine_requests": 8,
+}
+
+
+def run_benchmark(
+    output: Optional[str] = "BENCH_alloc.json",
+    smoke: bool = False,
+    seed: int = 0,
+    scale: Optional[Dict] = None,
+    verbose: bool = True,
+) -> Dict:
+    """Run every workload; write and return the ``BENCH_alloc.json`` payload.
+
+    ``scale`` overrides individual knobs of the selected preset (see
+    ``_FULL_SCALE``) -- tests use it to run in milliseconds.
+    """
+    knobs = dict(_SMOKE_SCALE if smoke else _FULL_SCALE)
+    if scale:
+        knobs.update(scale)
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg, flush=True)
+
+    churn_sweep = []
+    for num_large in knobs["churn_sizes"]:
+        say(f"[churn] {num_large} large pages, {knobs['churn_ops']} ops ...")
+        churn_sweep.append(churn_bench(num_large, knobs["churn_ops"], seed=seed))
+        say(f"    {churn_sweep[-1]['ops_per_sec']:,.0f} ops/s  "
+            f"p50 {churn_sweep[-1]['p50_us']:.2f}us  "
+            f"p99 {churn_sweep[-1]['p99_us']:.2f}us")
+    churn_scaling = churn_sweep[-1]["p50_us"] / max(churn_sweep[0]["p50_us"], 1e-9)
+
+    queue_sweep = []
+    for depth in knobs["queue_depths"]:
+        say(f"[queue] depth {depth}, {knobs['queue_ops']} push+pop pairs ...")
+        queue_sweep.append(queue_bench(depth, knobs["queue_ops"], seed=seed))
+        say(f"    {queue_sweep[-1]['ops_per_sec']:,.0f} ops/s  "
+            f"p50 {queue_sweep[-1]['p50_us']:.2f}us")
+    queue_scaling = queue_sweep[-1]["p50_us"] / max(queue_sweep[0]["p50_us"], 1e-9)
+
+    say(f"[engine] synthetic run, {knobs['engine_requests']} requests ...")
+    engine = engine_bench(knobs["engine_requests"], seed=seed)
+    say(f"    {engine['steps']} steps at {engine['steps_per_sec']:,.0f} steps/s  "
+        f"step p50 {engine['step_p50_ms']:.3f}ms  p99 {engine['step_p99_ms']:.3f}ms")
+
+    payload = {
+        "benchmark": "alloc",
+        "version": 1,
+        "smoke": smoke,
+        "seed": seed,
+        "churn": {
+            "sweep": churn_sweep,
+            # p50 per-op cost at the largest pool over the smallest:
+            # ~1.0 means allocate/release cost does not grow with the
+            # number of free pages (the O(1) free-pool claim).
+            "scaling_ratio_p50": churn_scaling,
+        },
+        "queue": {
+            "sweep": queue_sweep,
+            "scaling_ratio_p50": queue_scaling,
+        },
+        "engine": engine,
+        "invariant_checkpoints": sum(
+            c["invariant_checkpoints"] for c in churn_sweep
+        ) + 1,  # +1: the engine run's final cross-check
+    }
+    if output:
+        with open(output, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        say(f"[saved {output}]")
+    return payload

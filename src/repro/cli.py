@@ -180,6 +180,16 @@ def cmd_specdecode(args) -> int:
     return 0
 
 
+def cmd_bench_alloc(args) -> int:
+    from .bench.alloc import run_benchmark
+
+    payload = run_benchmark(output=args.output, smoke=args.smoke, seed=args.seed)
+    churn = payload["churn"]["scaling_ratio_p50"]
+    queue = payload["queue"]["scaling_ratio_p50"]
+    print(f"scaling ratios (p50 largest/smallest): churn {churn:.2f}, queue {queue:.2f}")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Jenga reproduction experiment runner"
@@ -231,6 +241,15 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=4)
     p.add_argument("--acceptance", type=float, default=0.7)
     p.set_defaults(func=cmd_specdecode)
+
+    p = sub.add_parser(
+        "bench-alloc",
+        help="allocator/scheduler microbenchmark (emits BENCH_alloc.json)",
+    )
+    p.add_argument("--smoke", action="store_true", help="reduced CI scale")
+    p.add_argument("--output", default="BENCH_alloc.json")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_bench_alloc)
     return parser
 
 

@@ -49,8 +49,12 @@ __all__ = [
 ]
 
 # Human-readable names of the §5.4 five-step allocation algorithm, keyed by
-# the ``step`` field of :class:`PageAllocated`.
+# the ``step`` field of :class:`PageAllocated`.  Step 0 is not part of the
+# paper's algorithm: it tags the naive first-fit path taken when
+# request-aware allocation is disabled (the §4.3 ablation), so analytics
+# can tell it apart from a genuine step-4 fallback.
 ALLOCATION_STEPS: Dict[int, str] = {
+    0: "first-fit small page (request-aware ablation)",
     1: "request-associated small page",
     2: "empty large page",
     3: "evict large page",
@@ -66,7 +70,8 @@ class Event:
 
 @dataclass(frozen=True)
 class PageAllocated(Event):
-    """One small page left the allocator via §5.4 step ``step`` (1-5)."""
+    """One small page left the allocator via §5.4 step ``step`` (1-5,
+    or 0 for the request-aware-ablation first-fit path)."""
 
     group_id: str
     request_id: str

@@ -235,7 +235,15 @@ class AllocationMixin:
                 peak_tokens = min(stream_total, limit + chunk_tokens)
                 n = max(n, -(-peak_tokens // spec.tokens_per_page))
             group = self.allocator.groups[group_id]
-            local = group.num_free + len(group.evictor)
+            # The group's small pages inside its *own* fully-evictable
+            # large pages are already claimable through ``available``
+            # (the large evictor); counting them in ``local`` too would
+            # double-count them against other groups' deficits.
+            overlap = (
+                self.allocator.fully_evictable_large_pages(group_id)
+                * group.small_per_large
+            )
+            local = group.num_free + len(group.evictor) - overlap
             deficit = n + watermark_pages - local
             if deficit > 0:
                 large_needed += -(-deficit // group.small_per_large)

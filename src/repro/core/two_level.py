@@ -29,12 +29,12 @@ caller (the KV manager / scheduler) must preempt a request.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Tuple
 
 from .events import EventBus, LargePageCarved, PageAllocated, PageEvicted, PageReleased
 from .evictor import LRUEvictor
+from .free_pool import FreePool
 from .layer_policy import GroupSpec, LayerTypePolicy
 from .lcm_allocator import LCMAllocator
 from .pages import PageState, PhysicalExtent, SmallPage
@@ -81,9 +81,9 @@ class GroupAllocator:
         self.small_per_large = small_per_large
         self.pages: Dict[int, SmallPage] = {}
         self._next_page_id = 0
-        # EMPTY pages carved into this group, grouped by request association.
-        self._free_by_request: Dict[Optional[str], List[int]] = defaultdict(list)
-        self.num_free = 0
+        # EMPTY pages carved into this group, indexed by request
+        # association and by owning large page (O(1) push/pop/purge).
+        self.free_pool = FreePool()
         self.evictor = LRUEvictor()
         self.cache_index = CachedBlockIndex()
         # Pages evicted cumulatively (for benchmark introspection).
@@ -102,33 +102,28 @@ class GroupAllocator:
 
     # -- free-pool bookkeeping -----------------------------------------
 
+    @property
+    def num_free(self) -> int:
+        """EMPTY pages currently pooled (the pool holds no stale ids)."""
+        return len(self.free_pool)
+
+    @property
+    def free_buckets(self) -> int:
+        """Per-request buckets in the free pool (bounded by ``num_free``)."""
+        return self.free_pool.num_buckets
+
     def push_free(self, page: SmallPage) -> None:
-        self._free_by_request[page.request_id].append(page.page_id)
-        self.num_free += 1
+        self.free_pool.push(page.page_id, page.request_id, page.large_page_id)
 
     def pop_free(self, request_id: Optional[str]) -> Optional[SmallPage]:
         """Pop an empty page associated with ``request_id`` (step 1)."""
-        bucket = self._free_by_request.get(request_id)
-        while bucket:
-            page_id = bucket.pop()
-            page = self.pages.get(page_id)
-            if page is not None and page.is_empty and page.request_id == request_id:
-                self.num_free -= 1
-                return page
-        return None
+        page_id = self.free_pool.pop(request_id)
+        return None if page_id is None else self.pages[page_id]
 
     def pop_free_any(self) -> Optional[SmallPage]:
         """Pop any empty page regardless of association (step 4)."""
-        for request_id in list(self._free_by_request):
-            bucket = self._free_by_request[request_id]
-            while bucket:
-                page_id = bucket.pop()
-                page = self.pages.get(page_id)
-                if page is not None and page.is_empty:
-                    self.num_free -= 1
-                    return page
-            del self._free_by_request[request_id]
-        return None
+        page_id = self.free_pool.pop_any()
+        return None if page_id is None else self.pages[page_id]
 
     def new_page(self, large_page_id: int, slot: int, request_id: Optional[str]) -> SmallPage:
         page = SmallPage(
@@ -177,8 +172,11 @@ class TwoLevelAllocator:
             for g in specs
         }
         # Per-large-page state counts: [empty, used, evictable].
-        self._large_counts: Dict[int, List[int]] = {}
+        self._large_counts: Dict[int, list] = {}
         self.large_evictor = LRUEvictor()
+        # Members of large_evictor per owning group, maintained alongside
+        # every add/remove so capacity probes never scan the evictor.
+        self._num_fully_evictable: Dict[str, int] = {g: 0 for g in specs}
         self.num_large_evictions = 0
         # Optional hook fired when a *cached* (hashed) page is reclaimed:
         # (group_id, block_hash, page_bytes).  The KV manager uses it to
@@ -202,15 +200,19 @@ class TwoLevelAllocator:
         group = self.groups[group_id]
 
         if not self.request_aware:
-            # Ablation mode: naive first-fit over any empty small page.
+            # Ablation mode (§4.3): naive first-fit over any empty small
+            # page, tagged step=0 so event analytics never conflate it
+            # with a genuine step-4 fallback.  When it misses, the pool
+            # holds no empty page at all, so step 1 is skipped (it could
+            # only re-probe the pool this just proved empty).
             page = group.pop_free_any()
             if page is not None:
-                return self._took(group, page, request_id, step=4)
-
-        # Step 1: request-associated empty small page.
-        page = group.pop_free(request_id)
-        if page is not None:
-            return self._took(group, page, request_id, step=1)
+                return self._took(group, page, request_id, step=0)
+        else:
+            # Step 1: request-associated empty small page.
+            page = group.pop_free(request_id)
+            if page is not None:
+                return self._took(group, page, request_id, step=1)
 
         # Step 2: carve a fresh large page.
         if self.lcm.has_free():
@@ -221,6 +223,7 @@ class TwoLevelAllocator:
         if len(self.large_evictor):
             victim_id, last_access, prefix_length = self.large_evictor.evict_with_key()
             victim_group = self.lcm.page(victim_id).owner_group
+            self._num_fully_evictable[victim_group] -= 1
             self._evict_large_page(victim_id)
             self.num_large_evictions += 1
             if self.events is not None:
@@ -358,7 +361,21 @@ class TwoLevelAllocator:
         group = self.groups[group_id]
         if page.is_evictable and page.page_id in group.evictor:
             group.evictor.add(page.page_id, page.last_access, page.prefix_length)
-            self._refresh_large_priority(page.large_page_id)
+            large_id = page.large_page_id
+            if large_id is None or large_id not in self.large_evictor:
+                return
+            # Incremental re-key of the fully-evictable large page: its
+            # priority is the component-wise max over its small pages.  If
+            # the touched page now dominates the recorded max, it *is* the
+            # new max; only when it does not (it may have been the holder
+            # and shrunk) do we fall back to the full scan.
+            cur = self.large_evictor.priority_of(large_id)
+            key = (page.last_access, page.prefix_length)
+            if key[0] >= cur[0] and key[1] >= cur[1]:
+                if key != cur:
+                    self._large_evictor_add(large_id, *key)
+            else:
+                self._large_evictor_add(large_id, *self._large_key_scan(large_id))
 
     # ------------------------------------------------------------------
     # Internal state machinery
@@ -436,27 +453,13 @@ class TwoLevelAllocator:
                     f"returning large page {large_id} with non-empty small page {small_id}"
                 )
             group.destroy_page(page)
-        # Empty pages of this large page may still sit in the free pools;
-        # pop_free skips destroyed ids, so stale entries are harmless, but
-        # the free counter must stay exact.
-        removed = self._purge_free_entries(group, set(large.small_page_ids))
-        group.num_free -= removed
+        # Drop this large page's (and only this large page's) pooled empty
+        # pages -- O(members) through the per-large membership index, not
+        # O(all free pages of the group).
+        group.free_pool.purge_large(large_id)
         del self._large_counts[large_id]
-        self.large_evictor.discard(large_id)
+        self._large_evictor_discard(large_id)
         self.lcm.free(large_id)
-
-    @staticmethod
-    def _purge_free_entries(group: GroupAllocator, dead_ids: Set[int]) -> int:
-        removed = 0
-        for request_id in list(group._free_by_request):
-            bucket = group._free_by_request[request_id]
-            kept = [pid for pid in bucket if pid not in dead_ids]
-            removed += len(bucket) - len(kept)
-            if kept:
-                group._free_by_request[request_id] = kept
-            else:
-                del group._free_by_request[request_id]
-        return removed
 
     def _total_slots(self, large_id: int) -> int:
         owner = self.lcm.owner_of(large_id)
@@ -479,43 +482,68 @@ class TwoLevelAllocator:
             return
         counts[self._STATE_IDX[old]] -= 1
         counts[self._STATE_IDX[new]] += 1
-        self._refresh_large_priority(page.large_page_id)
+        # Incremental large-evictor maintenance.  A large page is in the
+        # evictor iff every small page is EVICTABLE, so only transitions
+        # touching the EVICTABLE state can change membership:
+        #   * leaving EVICTABLE breaks full evictability -> O(1) discard;
+        #   * entering EVICTABLE inserts (with the O(small_per_large) key
+        #     scan) only when this was the *last* page to turn, which
+        #     needed small_per_large prior transitions -- amortized O(1).
+        # EMPTY<->USED transitions imply the large page was not and is not
+        # fully evictable, and cost nothing here.
+        large_id = page.large_page_id
+        if old is PageState.EVICTABLE:
+            self._large_evictor_discard(large_id)
+        elif new is PageState.EVICTABLE and counts[2] == self._total_slots(large_id):
+            self._large_evictor_add(large_id, *self._large_key_scan(large_id))
 
-    def _refresh_large_priority(self, large_id: Optional[int]) -> None:
-        if large_id is None:
-            return
-        counts = self._large_counts.get(large_id)
-        if counts is None:
-            return
-        total = self._total_slots(large_id)
-        if counts[2] == total and total > 0:
-            # Fully evictable: (re)insert with the latest small-page access.
-            large = self.lcm.page(large_id)
-            group = self.groups[large.owner_group]
-            last = max(
-                (group.pages[s].last_access for s in large.small_page_ids if s in group.pages),
-                default=-1.0,
-            )
-            prefix = max(
-                (group.pages[s].prefix_length for s in large.small_page_ids if s in group.pages),
-                default=0.0,
-            )
-            self.large_evictor.add(large_id, last, prefix)
-        else:
-            self.large_evictor.discard(large_id)
+    def _large_key_scan(self, large_id: int) -> Tuple[float, float]:
+        """Eviction key of a fully-evictable large page: the component-wise
+        max of ``(last_access, prefix_length)`` over its small pages."""
+        large = self.lcm.page(large_id)
+        group = self.groups[large.owner_group]
+        last = -1.0
+        prefix = 0.0
+        for small_id in large.small_page_ids:
+            page = group.pages.get(small_id)
+            if page is None:
+                continue
+            if page.last_access > last:
+                last = page.last_access
+            if page.prefix_length > prefix:
+                prefix = page.prefix_length
+        return last, prefix
+
+    def _large_evictor_add(self, large_id: int, last_access: float, prefix: float) -> None:
+        if large_id not in self.large_evictor:
+            self._num_fully_evictable[self.lcm.page(large_id).owner_group] += 1
+        self.large_evictor.add(large_id, last_access, prefix)
+
+    def _large_evictor_discard(self, large_id: int) -> None:
+        if self.large_evictor.discard(large_id):
+            self._num_fully_evictable[self.lcm.page(large_id).owner_group] -= 1
 
     # ------------------------------------------------------------------
     # Capacity probes and accounting
     # ------------------------------------------------------------------
+
+    def fully_evictable_large_pages(self, group_id: str) -> int:
+        """Large-evictor members owned by ``group_id`` (O(1) counter)."""
+        return self._num_fully_evictable[group_id]
 
     def reclaimable_pages(self, group_id: str) -> int:
         """Upper bound on small pages of ``group_id`` obtainable right now.
 
         Counts the group's empty pages, empty large pages, fully-evictable
         large pages (all reusable by any group), and the group's own
-        evictable pages.  Used by the scheduler for admission control; the
-        bound is optimistic only across *multiple* groups competing for the
-        same large pages, which admission handles by re-checking per step.
+        evictable pages.  Small pages sitting inside the group's *own*
+        fully-evictable large pages appear both in ``len(group.evictor)``
+        and in the large-evictor term, so that overlap is subtracted --
+        without it the bound double-counts and admission can overshoot
+        into admit-preempt thrash.  Used by the scheduler for admission
+        control; the bound is optimistic only across *multiple* groups
+        competing for the same large pages, which admission handles by
+        re-checking per step.
         """
         group = self.groups[group_id]
         spl = group.small_per_large
@@ -523,6 +551,7 @@ class TwoLevelAllocator:
             group.num_free
             + (self.lcm.num_free + len(self.large_evictor)) * spl
             + len(group.evictor)
+            - self._num_fully_evictable[group_id] * spl
         )
 
     def stats(self) -> AllocatorStats:
@@ -614,6 +643,8 @@ class TwoLevelAllocator:
     def check_invariants(self) -> None:
         """Assert internal consistency; used by property-based tests."""
         for group_id, group in self.groups.items():
+            group.free_pool.check_consistent()
+            n_empty = 0
             for page in group.pages.values():
                 large = self.lcm.page(page.large_page_id)
                 assert large.owner_group == group_id, (
@@ -622,8 +653,19 @@ class TwoLevelAllocator:
                 )
                 if page.is_evictable:
                     assert page.page_id in group.evictor
+                    assert page.page_id not in group.free_pool
                 if page.is_used:
                     assert page.ref_count > 0
+                    assert page.page_id not in group.free_pool
+                if page.is_empty:
+                    n_empty += 1
+                    assert page.page_id in group.free_pool, (
+                        f"EMPTY page {group_id}/{page.page_id} missing from the free pool"
+                    )
+            # The pool holds exactly the EMPTY pages (no stale ids), so
+            # num_free needs no separate running counter.
+            assert group.num_free == n_empty, (group_id, group.num_free, n_empty)
+        fully_by_group = {g: 0 for g in self.groups}
         for large_id, counts in self._large_counts.items():
             total = self._total_slots(large_id)
             assert sum(counts) == total, (large_id, counts, total)
@@ -636,3 +678,16 @@ class TwoLevelAllocator:
                     continue
                 actual[{PageState.EMPTY: 0, PageState.USED: 1, PageState.EVICTABLE: 2}[page.state]] += 1
             assert actual == counts, (large_id, actual, counts)
+            if counts[2] == total and total > 0:
+                fully_by_group[large.owner_group] += 1
+                assert large_id in self.large_evictor, (
+                    f"fully-evictable large page {large_id} missing from the evictor"
+                )
+                assert self.large_evictor.priority_of(large_id) == self._large_key_scan(large_id)
+            else:
+                assert large_id not in self.large_evictor, (
+                    f"large page {large_id} in the evictor but not fully evictable"
+                )
+        assert fully_by_group == self._num_fully_evictable, (
+            fully_by_group, self._num_fully_evictable
+        )

@@ -16,8 +16,10 @@ explanation for TGI finishing early).
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..core.events import EventBus, RequestQueued
 from .request import Request
@@ -77,8 +79,17 @@ def profile_config(name: str, **overrides) -> SchedulerConfig:
 class WaitingQueue:
     """FCFS waiting queue with arrival-time gating.
 
-    Preempted requests re-enter at the *front* (they have the oldest
-    arrival times, so FCFS order is preserved by sorting on arrival).
+    Backed by a binary heap keyed on ``(arrival_time, freshness,
+    sequence)`` so ``push`` and ``pop_ready`` are O(log n) -- the previous
+    sort-per-push plus ``list.pop(0)`` cost O(n log n) per push and O(n)
+    per pop, which dominated engine steps at deep queues.
+
+    Preempted requests re-enter at the *front*: they carry the oldest
+    arrival times, and on an arrival-time tie they outrank fresh arrivals
+    (the ``freshness`` key component), so a preempted request never loses
+    its scheduling priority to a newcomer that happened to arrive at the
+    same instant.  Among equally-placed requests, push order is preserved
+    by the monotone sequence number.
 
     When built with an event bus, every push publishes a
     :class:`~repro.core.events.RequestQueued` record (both fresh arrivals
@@ -86,31 +97,35 @@ class WaitingQueue:
     """
 
     def __init__(self, events: Optional[EventBus] = None) -> None:
-        self._items: List[Request] = []
+        self._heap: List[Tuple[float, int, int, Request]] = []
+        self._seq = itertools.count()
         self.events = events
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._heap)
 
     def __bool__(self) -> bool:
-        return bool(self._items)
+        return bool(self._heap)
 
     def push(self, request: Request) -> None:
-        self._items.append(request)
-        self._items.sort(key=lambda r: r.arrival_time)
+        freshness = 0 if request.num_preemptions > 0 else 1
+        heapq.heappush(
+            self._heap,
+            (request.arrival_time, freshness, next(self._seq), request),
+        )
         if self.events is not None:
             self.events.emit(RequestQueued(request.request_id, request.arrival_time))
 
     def peek_ready(self, now: float) -> Optional[Request]:
-        if self._items and self._items[0].arrival_time <= now:
-            return self._items[0]
+        if self._heap and self._heap[0][0] <= now:
+            return self._heap[0][3]
         return None
 
     def pop_ready(self, now: float) -> Optional[Request]:
         request = self.peek_ready(now)
         if request is not None:
-            self._items.pop(0)
+            heapq.heappop(self._heap)
         return request
 
     def next_arrival(self) -> Optional[float]:
-        return self._items[0].arrival_time if self._items else None
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,57 @@
+"""The microbenchmark harness itself is tier-1 tested (at tiny scale)."""
+
+import json
+
+from repro.bench.alloc import churn_bench, queue_bench, run_benchmark
+
+TINY = {
+    "churn_sizes": [4, 8],
+    "churn_ops": 400,
+    "queue_depths": [5, 20],
+    "queue_ops": 200,
+    "engine_requests": 2,
+}
+
+
+def test_run_benchmark_payload_and_file(tmp_path):
+    out = tmp_path / "BENCH_alloc.json"
+    payload = run_benchmark(output=str(out), smoke=True, scale=TINY,
+                            verbose=False)
+    assert set(payload) >= {"churn", "queue", "engine",
+                            "invariant_checkpoints", "seed", "smoke"}
+    assert len(payload["churn"]["sweep"]) == 2
+    assert payload["churn"]["scaling_ratio_p50"] > 0
+    assert len(payload["queue"]["sweep"]) == 2
+    for cell in payload["churn"]["sweep"] + payload["queue"]["sweep"]:
+        assert cell["ops_per_sec"] > 0
+        assert cell["p50_us"] <= cell["p99_us"]
+    assert payload["engine"]["steps"] > 0
+    # Every workload cross-validated stats()/stats_slow() at least once.
+    assert payload["invariant_checkpoints"] >= 1
+    # The JSON artifact round-trips.
+    assert json.loads(out.read_text()) == payload
+
+
+def test_run_benchmark_without_output_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    payload = run_benchmark(output=None, smoke=True, scale=TINY, verbose=False)
+    assert payload["invariant_checkpoints"] >= 1
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_churn_bench_deterministic_for_seed():
+    a = churn_bench(4, 300, seed=7)
+    b = churn_bench(4, 300, seed=7)
+    for key in ("allocate", "release", "acquire"):
+        assert a[key]["count"] == b[key]["count"]
+    for key in ("large_evictions", "small_evictions"):
+        assert a[key] == b[key]
+    assert a["num_large_pages"] == 4
+    assert (a["allocate"]["count"] + a["release"]["count"]
+            + a["acquire"]["count"] == a["ops"] == 300)
+
+
+def test_queue_bench_counts():
+    cell = queue_bench(depth=10, num_ops=100, seed=0)
+    assert cell["depth"] == 10
+    assert cell["ops"] == 200  # each iteration is one pop + one push

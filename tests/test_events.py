@@ -85,7 +85,9 @@ class TestEventBus:
         assert len(seen) == 2
 
     def test_step_names(self):
-        assert set(ALLOCATION_STEPS) == {1, 2, 3, 4, 5}
+        # 1-5 are the paper's five steps; 0 tags the request-aware
+        # ablation's first-fit path.
+        assert set(ALLOCATION_STEPS) == {0, 1, 2, 3, 4, 5}
         assert PageAllocated("g", "r", 0, 3).step_name == ALLOCATION_STEPS[3]
         assert "step 9" in PageAllocated("g", "r", 0, 9).step_name
 

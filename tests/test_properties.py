@@ -212,6 +212,79 @@ class TestAllocatorProperties:
         assert got == min(n_allocs, 3 * num_large)
 
 
+class TestAllocatorCrossValidation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["alloc-a", "alloc-b", "free", "cache-release",
+                     "acquire", "touch"]
+                ),
+                st.integers(0, 3),    # request id
+                st.integers(0, 200),  # tie-breaker / time jitter
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fast_stats_match_slow_recount_exactly(self, ops):
+        """Satellite check for the running-counter rework: after *every*
+        operation -- including cache hits that revive evictable pages and
+        touches that re-key the incremental large-page priority -- the
+        O(groups) ``stats()`` must equal the O(pages) ``stats_slow()``
+        field-for-field, ``num_free`` must equal a recount of EMPTY
+        pages, and live extents must never overlap."""
+        specs = {
+            "a": GroupSpec("a", FULL_ATTENTION, 1, 64, tokens_per_page=4,
+                           accepted_tags=frozenset({TEXT})),
+            "b": GroupSpec("b", FULL_ATTENTION, 1, 96, tokens_per_page=4,
+                           accepted_tags=frozenset({TEXT})),
+        }
+        policies = {g: make_policy(s) for g, s in specs.items()}
+        alloc = TwoLevelAllocator(768 * 3, specs, policies)
+        live = []
+        known_hashes = []
+        counter = 0
+        for op, rid, jitter in ops:
+            if op.startswith("alloc"):
+                gid = op[-1]
+                page = alloc.allocate_page(gid, f"r{rid}")
+                if page is not None:
+                    page.last_access = float(jitter)
+                    live.append((gid, page))
+            elif op == "acquire" and known_hashes:
+                gid, h = known_hashes[jitter % len(known_hashes)]
+                page = alloc.acquire_cached(gid, h, f"r{rid}")
+                if page is not None:  # revived or ref-shared
+                    page.last_access = float(jitter)
+                    live.append((gid, page))
+            elif op == "touch":
+                for gid, group in alloc.groups.items():
+                    for page in group.pages.values():
+                        if page.is_evictable:
+                            page.last_access = float(jitter)
+                            alloc.touch_evictable(gid, page)
+                            break
+            elif live:
+                gid, page = live.pop(0)
+                if page.state.value != "used":
+                    continue
+                if op == "cache-release" and page.block_hash is None:
+                    counter += 1
+                    alloc.register_block_hash(gid, page, counter)
+                    known_hashes.append((gid, counter))
+                alloc.release_page(
+                    gid, page.page_id, cacheable=(op == "cache-release")
+                )
+            alloc.check_invariants()
+            alloc.check_no_physical_overlap()
+            fast, slow = alloc.stats(), alloc.stats_slow()
+            assert fast == slow
+            for gid, group in alloc.groups.items():
+                empties = sum(1 for p in group.pages.values() if p.is_empty)
+                assert group.num_free == empties
+
+
 class TestManagerProperties:
     @given(
         st.lists(st.integers(1, 60), min_size=1, max_size=6),

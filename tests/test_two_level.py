@@ -16,7 +16,7 @@ from repro.core.two_level import TwoLevelAllocator
 T = frozenset({TEXT})
 
 
-def make_allocator(num_large=4, enable_prefix_caching=True):
+def make_allocator(num_large=4, enable_prefix_caching=True, **kwargs):
     """Two groups: 'a' pages of 256 B (3 per large), 'b' pages of 384 B (2)."""
     specs = {
         "a": GroupSpec("a", FULL_ATTENTION, 1, per_token_bytes=64, tokens_per_page=4, accepted_tags=T),
@@ -24,7 +24,8 @@ def make_allocator(num_large=4, enable_prefix_caching=True):
     }
     policies = {g: make_policy(s) for g, s in specs.items()}
     return TwoLevelAllocator(
-        768 * num_large, specs, policies, enable_prefix_caching=enable_prefix_caching
+        768 * num_large, specs, policies,
+        enable_prefix_caching=enable_prefix_caching, **kwargs
     )
 
 
@@ -256,3 +257,61 @@ class TestAccounting:
         assert alloc.reclaimable_pages("a") == 6  # 2 large x 3
         page = alloc.allocate_page("a", "r")
         assert alloc.reclaimable_pages("a") == 5
+
+
+class TestReclaimableOverlapRegression:
+    def test_fully_evictable_own_pages_not_double_counted(self):
+        """A group's own small pages inside a fully-evictable large page
+        used to show up twice in reclaimable_pages: once in the group's
+        evictor term and once via the large-evictor term (pre-fix this
+        reported 6 reclaimable pages while the group only has 3)."""
+        alloc = make_allocator(num_large=1)
+        pages = [alloc.allocate_page("a", "r1") for _ in range(3)]
+        for p in pages:
+            alloc.register_block_hash("a", p, hash(("a", p.page_id)))
+            p.last_access = 1.0
+            alloc.release_page("a", p.page_id, cacheable=True)
+        assert len(alloc.large_evictor) == 1
+        assert len(alloc.groups["a"].evictor) == 3
+        # Bound can never exceed the pages that physically exist (3).
+        assert alloc.reclaimable_pages("a") == 3
+        # Group b sees the fully-evictable large page once, as 2 b-slots.
+        assert alloc.reclaimable_pages("b") == 2
+        alloc.check_invariants()
+
+    def test_partially_evictable_large_not_affected(self):
+        alloc = make_allocator(num_large=1)
+        pages = [alloc.allocate_page("a", "r1") for _ in range(3)]
+        alloc.register_block_hash("a", pages[0], 1234)
+        pages[0].last_access = 1.0
+        alloc.release_page("a", pages[0].page_id, cacheable=True)
+        # 1 evictable + 2 used: large page not fully evictable.
+        assert len(alloc.large_evictor) == 0
+        assert alloc.reclaimable_pages("a") == 1
+
+
+class TestRequestAwareAblation:
+    def test_ablation_first_fit_emits_step0_and_skips_probe(self):
+        """With request_aware=False the first-fit hit must be tagged
+        step=0 (pre-fix it reported step=4 after a pointless step-1
+        probe of the per-request buckets)."""
+        from repro.core.events import EventBus, PageAllocated
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, [PageAllocated])
+        alloc = make_allocator(num_large=1, request_aware=False, events=bus)
+        alloc.allocate_page("a", "r1")   # empty pool -> carve (step 2)
+        alloc.allocate_page("a", "r2")   # first-fit from the pool
+        assert [e.step for e in seen] == [2, 0]
+
+    def test_ablation_ignores_request_association(self):
+        alloc = make_allocator(num_large=2, request_aware=False)
+        anchor = alloc.allocate_page("a", "r1")  # keeps the large page alive
+        p1 = alloc.allocate_page("a", "r1")
+        alloc.release_page("a", p1.page_id, cacheable=False)
+        # r2 gets r1's slot straight from the pool: no step-2 carve.
+        p2 = alloc.allocate_page("a", "r2")
+        assert p2.page_id == p1.page_id
+        assert p2.large_page_id == anchor.large_page_id
+        assert alloc.lcm.num_allocated == 1
