@@ -1,0 +1,40 @@
+"""jengalint: AST-based invariant linter for the Jenga reproduction.
+
+The allocator's performance and correctness rest on invariants a type
+checker cannot see: hot paths must stay O(1)-per-page, event dataclasses
+must not be built for nobody, incremental counters must only move through
+their owning class, and registered managers must structurally satisfy the
+:class:`~repro.core.protocols.KVCacheManager` protocol.  jengalint
+encodes each as a lint rule over a single AST walk per file -- no code is
+imported, so it is safe on any tree.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis src      # lint the tree
+    python -m repro.cli lint                          # same, via the CLI
+
+Exit status is 0 when clean, 1 when any finding survives suppression
+(``# jengalint: disable=<rule>`` on the offending line).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .engine import Finding, Rule, analyze_paths as _analyze_paths, analyze_source
+from .manifest import HOT_MODULES
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "HOT_MODULES",
+    "Rule",
+    "analyze_source",
+    "run_lint",
+]
+
+
+def run_lint(paths: Iterable[str]) -> List[Finding]:
+    """Lint ``paths`` (files or directories) with every registered rule."""
+    return _analyze_paths(paths, ALL_RULES, HOT_MODULES)

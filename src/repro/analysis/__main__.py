@@ -1,0 +1,45 @@
+"""``python -m repro.analysis`` -- run jengalint from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import ALL_RULES, run_lint
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="jengalint: repo-specific invariant linter (see repro.analysis).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule names and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(rule_cls.name)
+        return 0
+
+    findings = run_lint(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"jengalint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Repo-specific manifests consumed by the jengalint rules.
+
+The linter is deliberately *not* generic: every rule encodes an invariant
+of this codebase, and this module is the single place those invariants
+name concrete modules, classes, and attributes.  When the allocator grows
+a new hot module or incremental counter, extend the manifest here -- the
+rules themselves should not need editing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = [
+    "AUDITED_SLOW_FUNCS",
+    "EVENT_CLASSES",
+    "GUARDED_COUNTERS",
+    "HOT_CLASSES",
+    "HOT_MODULES",
+    "LIST_ATTRS",
+    "POOL_ATTRS",
+    "PROBE_EXEMPT_MODULES",
+    "PROTOCOL_CLASS",
+    "PROTOCOL_MODULE",
+    "REGISTRY_DECORATOR",
+]
+
+# -- rule: hot-path-scan ------------------------------------------------
+
+#: Modules on the per-step allocation hot path.  Everything here runs for
+#: every page of every scheduled request on every engine step, so O(n)
+#: scans over pool-sized state are budget regressions, not style nits.
+HOT_MODULES: FrozenSet[str] = frozenset(
+    {
+        "repro/core/two_level.py",
+        "repro/core/free_pool.py",
+        "repro/core/evictor.py",
+        "repro/core/kv_alloc.py",
+        "repro/engine/scheduler.py",
+    }
+)
+
+#: Functions inside hot modules that are *audited* linear scans: debug
+#: validators and introspection helpers whose cost is accepted and
+#: documented.  Name-based: anything starting with ``check_`` or
+#: containing ``slow`` is exempt, plus this explicit allowlist.
+AUDITED_SLOW_FUNCS: FrozenSet[str] = frozenset(
+    {
+        "items_in_order",  # test/bench introspection, documented O(n log n)
+        "_rebuild",        # heap compaction, amortized O(1) per mutation
+    }
+)
+
+#: Attributes that hold Python lists on hot-path classes.  ``x in <list>``
+#: is an O(n) scan; membership must go through a dict/set index instead.
+LIST_ATTRS: FrozenSet[str] = frozenset({"_heap", "page_table", "free_small"})
+
+#: Attributes whose size scales with the page pool or live-request count.
+#: Comprehensions over these inside hot modules are full-pool scans.
+POOL_ATTRS: FrozenSet[str] = frozenset(
+    {
+        "_heap",
+        "_priority",
+        "pages",
+        "_entry",
+        "_by_request",
+        "_by_large",
+        "_large_counts",
+        "_entries",
+    }
+)
+
+# -- rule: unguarded-emit -----------------------------------------------
+
+#: Event dataclasses published on the allocation-event bus.  Constructing
+#: one costs a dataclass allocation per page operation, so every
+#: ``emit(Event(...))`` call site must be guarded by
+#: ``events.has_subscribers(Event)`` (the event-bus fast path).
+EVENT_CLASSES: FrozenSet[str] = frozenset(
+    {
+        "PageAllocated",
+        "LargePageCarved",
+        "PageEvicted",
+        "PageEvictedToHost",
+        "PageReleased",
+        "PrefixHit",
+        "RequestQueued",
+        "RequestAdmitted",
+        "RequestPreempted",
+        "RequestFinished",
+        "RequestFailed",
+        "StepCompleted",
+    }
+)
+
+# -- rule: protocol-conformance -----------------------------------------
+
+#: Module/class defining the :class:`KVCacheManager` structural protocol.
+PROTOCOL_MODULE = "repro/core/protocols.py"
+PROTOCOL_CLASS = "KVCacheManager"
+
+#: Decorator that registers manager factories/classes with the registry.
+REGISTRY_DECORATOR = "register_manager"
+
+# -- rule: duck-typed-probe ---------------------------------------------
+
+#: Modules allowed to probe manager objects dynamically (the registry is
+#: the one sanctioned indirection point).
+PROBE_EXEMPT_MODULES: FrozenSet[str] = frozenset({"repro/core/registry.py"})
+
+# -- rule: guarded-counter ----------------------------------------------
+
+#: Incrementally-maintained counters and indexes, mapped to the one class
+#: allowed to assign them.  Anyone else must mutate through the owning
+#: class's methods (``bump_state``/``note_eviction``/...), otherwise the
+#: O(1) accounting silently drifts from the ground truth that
+#: ``check_invariants`` recomputes.
+GUARDED_COUNTERS: Dict[str, str] = {
+    # GroupAllocator page-state counters (kept by bump_state/note_*).
+    "n_used": "GroupAllocator",
+    "n_evictable": "GroupAllocator",
+    "n_empty_carved": "GroupAllocator",
+    "used_filled_tokens": "GroupAllocator",
+    "num_evictions": "GroupAllocator",
+    # TwoLevelAllocator large-page accounting.
+    "_num_fully_evictable": "TwoLevelAllocator",
+    "num_large_evictions": "TwoLevelAllocator",
+    # FreePool's three mutually-redundant indexes.
+    "_entry": "FreePool",
+    "_by_request": "FreePool",
+    "_by_large": "FreePool",
+}
+
+# -- rule: dynamic-attr -------------------------------------------------
+
+#: Hot-path classes whose instances must have a fixed attribute layout:
+#: every attribute is created in ``__init__`` (or ``__slots__``/class
+#: body), never sprinkled on later.  Keeps instance dicts in their
+#: compact shared-key form and makes the state inventory auditable.
+HOT_CLASSES: FrozenSet[str] = frozenset(
+    {
+        "FreePool",
+        "LRUEvictor",
+        "GroupAllocator",
+        "TwoLevelAllocator",
+        "LCMAllocator",
+        "WaitingQueue",
+    }
+)

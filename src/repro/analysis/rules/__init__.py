@@ -1,0 +1,33 @@
+"""jengalint's rule plugins, one invariant per rule."""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from ..engine import Rule
+from .event_bus import UnguardedEmitRule
+from .hot_path import HotPathScanRule
+from .probes import DuckTypedProbeRule
+from .protocol import ProtocolConformanceRule
+from .state import DynamicAttrRule, GuardedCounterRule, WallClockRule
+
+__all__ = [
+    "ALL_RULES",
+    "DuckTypedProbeRule",
+    "DynamicAttrRule",
+    "GuardedCounterRule",
+    "HotPathScanRule",
+    "ProtocolConformanceRule",
+    "UnguardedEmitRule",
+    "WallClockRule",
+]
+
+ALL_RULES: List[Type[Rule]] = [
+    HotPathScanRule,
+    UnguardedEmitRule,
+    ProtocolConformanceRule,
+    DuckTypedProbeRule,
+    GuardedCounterRule,
+    WallClockRule,
+    DynamicAttrRule,
+]

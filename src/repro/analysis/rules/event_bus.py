@@ -1,0 +1,61 @@
+"""Rule ``unguarded-emit``: event construction must be subscriber-gated.
+
+The allocation-event bus is on the per-page hot path; constructing an
+event dataclass for nobody costs an allocation per page operation.  Every
+``emit(SomeEvent(...))`` call site must therefore sit inside an ``if``
+whose test calls ``has_subscribers`` (the event-bus fast path), so the
+dataclass is never built when no consumer is attached:
+
+    if self.events is not None and self.events.has_subscribers(PageEvicted):
+        self.events.emit(PageEvicted(...))
+
+Calls that pass a pre-built event object (``emit(event)``) are not
+flagged -- the construction cost was already paid.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Context, Rule
+from ..manifest import EVENT_CLASSES
+
+__all__ = ["UnguardedEmitRule"]
+
+
+def _guarded(ctx: Context) -> bool:
+    """Whether an enclosing ``if`` body tests ``has_subscribers``."""
+    for if_node in ctx.if_stack:
+        for sub in ast.walk(if_node.test):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "has_subscribers"
+            ):
+                return True
+    return False
+
+
+class UnguardedEmitRule(Rule):
+    name = "unguarded-emit"
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            return
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id in EVENT_CLASSES
+            ):
+                if not _guarded(ctx):
+                    ctx.report(
+                        self.name,
+                        node,
+                        f"emit({arg.func.id}(...)) constructs an event "
+                        "unconditionally; guard the call site with "
+                        f"has_subscribers({arg.func.id}) so the dataclass is "
+                        "not built when nobody listens",
+                    )
+                return

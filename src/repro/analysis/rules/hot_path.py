@@ -1,0 +1,113 @@
+"""Rule ``hot-path-scan``: no O(n) scans inside hot allocator modules.
+
+Flags, inside :data:`~repro.analysis.manifest.HOT_MODULES`:
+
+* ``<list>.pop(0)`` -- O(n) front-pop; use ``collections.deque`` or a heap;
+* ``x in <list-typed attr>`` -- O(n) membership on a known list attribute;
+* ``sorted(...)`` / ``<x>.sort()`` -- full sorts in per-step code;
+* comprehensions iterating pool-sized state (page maps, lazy heaps,
+  free-pool indexes) -- full-pool scans.
+
+Functions whose linear cost is audited (``check_*`` validators, ``*slow*``
+helpers, and the explicit allowlist) are exempt, as is module-level code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from ..engine import Context, Rule
+from ..manifest import AUDITED_SLOW_FUNCS, LIST_ATTRS, POOL_ATTRS
+
+__all__ = ["HotPathScanRule"]
+
+_Comp = Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp]
+
+
+def _audited_slow(ctx: Context) -> bool:
+    """Whether any enclosing function is an accepted linear scan."""
+    for name in ctx.func_stack:
+        if name.startswith("check_") or "slow" in name or name in AUDITED_SLOW_FUNCS:
+            return True
+    return False
+
+
+class HotPathScanRule(Rule):
+    name = "hot-path-scan"
+
+    def _active(self, ctx: Context) -> bool:
+        return ctx.is_hot and bool(ctx.func_stack) and not _audited_slow(ctx)
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        if not self._active(ctx):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "sorted":
+            ctx.report(
+                self.name,
+                node,
+                "sorted() in a hot module is a full scan; maintain order "
+                "incrementally (heap/evictor) or move this to an audited "
+                "check_*/slow helper",
+            )
+        elif isinstance(func, ast.Attribute) and func.attr == "sort":
+            ctx.report(
+                self.name,
+                node,
+                ".sort() in a hot module is a full scan; maintain order "
+                "incrementally or move this to an audited check_*/slow helper",
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pop"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == 0
+        ):
+            ctx.report(
+                self.name,
+                node,
+                ".pop(0) is O(n) on a list; use collections.deque or a heap",
+            )
+
+    def visit_Compare(self, node: ast.Compare, ctx: Context) -> None:
+        if not self._active(ctx):
+            return
+        if not any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+            return
+        for comparator in node.comparators:
+            if isinstance(comparator, ast.Attribute) and comparator.attr in LIST_ATTRS:
+                ctx.report(
+                    self.name,
+                    node,
+                    f"membership test on list attribute '{comparator.attr}' is "
+                    "O(n); index it with a dict/set",
+                )
+
+    def visit_ListComp(self, node: ast.ListComp, ctx: Context) -> None:
+        self._check_comp(node, ctx, "list comprehension")
+
+    def visit_SetComp(self, node: ast.SetComp, ctx: Context) -> None:
+        self._check_comp(node, ctx, "set comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp, ctx: Context) -> None:
+        self._check_comp(node, ctx, "dict comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp, ctx: Context) -> None:
+        self._check_comp(node, ctx, "generator expression")
+
+    def _check_comp(self, node: _Comp, ctx: Context, kind: str) -> None:
+        if not self._active(ctx):
+            return
+        for generator in node.generators:
+            for sub in ast.walk(generator.iter):
+                if isinstance(sub, ast.Attribute) and sub.attr in POOL_ATTRS:
+                    ctx.report(
+                        self.name,
+                        node,
+                        f"{kind} iterates pool-sized state '{sub.attr}' in a "
+                        "hot module; maintain the result incrementally or "
+                        "move it to an audited check_*/slow helper",
+                    )
+                    return

@@ -1,0 +1,47 @@
+"""Rule ``duck-typed-probe``: no getattr/hasattr sniffing on managers.
+
+Managers implement the :class:`KVCacheManager` protocol; callers must use
+it.  ``hasattr(manager, "take_onload_bytes")``-style probes silently
+fork behaviour on typos and hide protocol drift from the conformance
+check.  The registry is the one sanctioned dynamic-dispatch point, so it
+is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Context, Rule
+from ..manifest import PROBE_EXEMPT_MODULES
+
+__all__ = ["DuckTypedProbeRule"]
+
+
+def _names_manager(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    else:
+        return False
+    ident = ident.lower()
+    return "manager" in ident or ident in ("mgr", "kv_mgr")
+
+
+class DuckTypedProbeRule(Rule):
+    name = "duck-typed-probe"
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        if ctx.module in PROBE_EXEMPT_MODULES:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id in ("getattr", "hasattr")):
+            return
+        if node.args and _names_manager(node.args[0]):
+            ctx.report(
+                self.name,
+                node,
+                f"{func.id}() probe on a manager object; call through the "
+                "KVCacheManager protocol (extend it if a capability is "
+                "missing) -- dynamic probes are only allowed in the registry",
+            )

@@ -1,0 +1,298 @@
+"""Rule ``protocol-conformance``: registered managers satisfy the protocol.
+
+Python's :class:`typing.Protocol` only checks *method presence* at
+``isinstance`` time, and only if someone actually calls it.  This rule
+statically cross-checks every manager registered through
+``@register_manager(...)`` against the :class:`KVCacheManager` protocol
+-- method names, positional arities, properties, and declared attributes
+-- without importing any code.
+
+Registration sites decorate *factories*; the rule traces each factory's
+``return SomeManager(...)`` statements to concrete classes, resolves
+methods through locally-known base classes (the mixin composition), and
+reports at the registration site.  Factories whose returns cannot be
+traced to a known class (e.g. a helper returning a tuple) are skipped --
+this is a linter, not a type checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Context, Finding, Rule
+from ..manifest import PROTOCOL_CLASS, PROTOCOL_MODULE, REGISTRY_DECORATOR
+
+__all__ = ["ProtocolConformanceRule"]
+
+#: (min positional args, max positional args or None for *args) -- self excluded.
+_Arity = Tuple[int, Optional[int]]
+
+
+@dataclass
+class _ClassInfo:
+    path: str
+    line: int
+    bases: List[str]
+    methods: Dict[str, _Arity] = field(default_factory=dict)
+    properties: Set[str] = field(default_factory=set)
+    attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Registration:
+    display: str
+    target: str
+    is_factory: bool
+    path: str
+    line: int
+
+
+def _arity(args: ast.arguments) -> _Arity:
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    n_total = len(positional)
+    n_required = n_total - len(args.defaults)
+    return (n_required, None if args.vararg is not None else n_total)
+
+
+def _is_property(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id == "property":
+            return True
+        if isinstance(deco, ast.Attribute) and deco.attr in ("setter", "getter"):
+            return True
+    return False
+
+
+def _registrar_decorator(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == REGISTRY_DECORATOR
+    )
+
+
+def _registered_name(deco: ast.Call) -> str:
+    if deco.args and isinstance(deco.args[0], ast.Constant):
+        return str(deco.args[0].value)
+    return "<dynamic>"
+
+
+class ProtocolConformanceRule(Rule):
+    name = "protocol-conformance"
+
+    def __init__(self) -> None:
+        self.protocol: Optional[_ClassInfo] = None
+        self.classes: Dict[str, _ClassInfo] = {}
+        self.func_returns: Dict[str, List[str]] = {}
+        self.registrations: List[_Registration] = []
+
+    # -- collection ----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: Context) -> None:
+        info = _ClassInfo(
+            path=ctx.path,
+            line=node.lineno,
+            bases=[
+                b.id if isinstance(b, ast.Name) else b.attr
+                for b in node.bases
+                if isinstance(b, (ast.Name, ast.Attribute))
+            ],
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                if _is_property(stmt):
+                    info.properties.add(stmt.name)
+                else:
+                    info.methods[stmt.name] = _arity(stmt.args)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                info.attrs.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        info.attrs.add(target.id)
+        # Instance attributes assigned anywhere in the class body.
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.attrs.add(target.attr)
+        if ctx.module == PROTOCOL_MODULE and node.name == PROTOCOL_CLASS:
+            self.protocol = info
+        self.classes[node.name] = info
+        for deco in node.decorator_list:
+            if _registrar_decorator(deco):
+                assert isinstance(deco, ast.Call)
+                self.registrations.append(
+                    _Registration(
+                        display=_registered_name(deco),
+                        target=node.name,
+                        is_factory=False,
+                        path=ctx.path,
+                        line=node.lineno,
+                    )
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: Context) -> None:
+        if ctx.class_stack:
+            return  # methods are collected via visit_ClassDef
+        returned: List[str] = []
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Return)
+                and isinstance(sub.value, ast.Call)
+                and isinstance(sub.value.func, ast.Name)
+            ):
+                returned.append(sub.value.func.id)
+        self.func_returns[node.name] = returned
+        for deco in node.decorator_list:
+            if _registrar_decorator(deco):
+                assert isinstance(deco, ast.Call)
+                self.registrations.append(
+                    _Registration(
+                        display=_registered_name(deco),
+                        target=node.name,
+                        is_factory=True,
+                        path=ctx.path,
+                        line=node.lineno,
+                    )
+                )
+
+    def visit_Call(self, node: ast.Call, ctx: Context) -> None:
+        # register_manager(name)(factory) -- the non-decorator form.
+        if (
+            _registrar_decorator(node.func)
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Name)
+        ):
+            inner = node.func
+            assert isinstance(inner, ast.Call)
+            self.registrations.append(
+                _Registration(
+                    display=_registered_name(inner),
+                    target=node.args[0].id,
+                    is_factory=True,
+                    path=ctx.path,
+                    line=node.lineno,
+                )
+            )
+
+    # -- resolution ----------------------------------------------------
+
+    def _closure(self, class_name: str) -> List[_ClassInfo]:
+        ordered: List[_ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self.classes.get(name)
+            if info is None:
+                continue
+            ordered.append(info)
+            stack.extend(info.bases)
+        return ordered
+
+    def _registered_classes(self, reg: _Registration) -> List[str]:
+        if not reg.is_factory:
+            return [reg.target]
+        resolved: List[str] = []
+        stack, seen = [reg.target], set()
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in self.classes:
+                resolved.append(name)
+            else:
+                stack.extend(self.func_returns.get(name, []))
+        return resolved
+
+    def _check_class(self, class_name: str, reg: _Registration) -> List[Finding]:
+        assert self.protocol is not None
+        closure = self._closure(class_name)
+        findings: List[Finding] = []
+
+        def report(message: str) -> None:
+            findings.append(
+                Finding(reg.path, reg.line, 0, self.name, message)
+            )
+
+        for method, (p_min, p_max) in self.protocol.methods.items():
+            impl: Optional[_Arity] = None
+            as_property = False
+            for info in closure:
+                if method in info.methods:
+                    impl = info.methods[method]
+                    break
+                if method in info.properties:
+                    as_property = True
+                    break
+            if as_property:
+                report(
+                    f"manager {reg.display!r} ({class_name}): protocol method "
+                    f"{method}() is implemented as a property"
+                )
+                continue
+            if impl is None:
+                report(
+                    f"manager {reg.display!r} ({class_name}): missing protocol "
+                    f"method {method}()"
+                )
+                continue
+            i_min, i_max = impl
+            if i_min > (p_min if p_min is not None else 0):
+                report(
+                    f"manager {reg.display!r} ({class_name}): {method}() requires "
+                    f"{i_min} positional args but protocol call sites may pass "
+                    f"only {p_min}"
+                )
+            elif i_max is not None and p_max is not None and i_max < p_max:
+                report(
+                    f"manager {reg.display!r} ({class_name}): {method}() accepts "
+                    f"at most {i_max} positional args but the protocol allows "
+                    f"{p_max}"
+                )
+        for prop in self.protocol.properties:
+            if not any(
+                prop in info.properties or prop in info.attrs or prop in info.methods
+                for info in closure
+            ):
+                report(
+                    f"manager {reg.display!r} ({class_name}): missing protocol "
+                    f"property {prop}"
+                )
+        for attr in self.protocol.attrs:
+            if not any(
+                attr in info.attrs or attr in info.properties for info in closure
+            ):
+                report(
+                    f"manager {reg.display!r} ({class_name}): missing protocol "
+                    f"attribute {attr!r}"
+                )
+        return findings
+
+    def finalize(self) -> List[Finding]:
+        if self.protocol is None:
+            return []
+        findings: List[Finding] = []
+        checked: Set[Tuple[str, str]] = set()
+        for reg in self.registrations:
+            for class_name in self._registered_classes(reg):
+                key = (reg.display, class_name)
+                if key in checked:
+                    continue
+                checked.add(key)
+                findings.extend(self._check_class(class_name, reg))
+        return findings

@@ -1,0 +1,185 @@
+"""State-discipline rules: guarded counters, wall-clock, dynamic attrs.
+
+``guarded-counter`` -- incrementally-maintained counters (page-state
+tallies, free-pool indexes) may only be assigned inside their owning
+class, through ``self``.  Anyone else mutating them bypasses the owning
+class's bookkeeping and silently drifts the O(1) accounting away from
+the ground truth ``check_invariants`` recomputes.
+
+``wall-clock`` -- ``repro.core`` is a deterministic simulation layer:
+time is an *input* (the engine's virtual clock), never sampled.  A stray
+``time.time()`` makes runs irreproducible and breaks the eviction-stamp
+protocol, which assumes timestamps come from the step clock.
+
+``dynamic-attr`` -- hot-path classes keep a fixed attribute layout:
+every instance attribute is created in ``__init__`` (or declared on the
+class / in ``__slots__``).  Attributes sprinkled on in other methods
+de-optimize CPython's shared-key instance dicts and hide state from the
+class's inventory.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine import Context, Finding, Rule
+from ..manifest import GUARDED_COUNTERS, HOT_CLASSES
+
+__all__ = ["GuardedCounterRule", "WallClockRule", "DynamicAttrRule"]
+
+
+def _counter_target(target: ast.expr) -> Optional[ast.Attribute]:
+    """Unwrap ``obj.attr`` / ``obj.attr[key]`` assignment targets."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target
+    return None
+
+
+class GuardedCounterRule(Rule):
+    name = "guarded-counter"
+
+    def visit_Assign(self, node: ast.Assign, ctx: Context) -> None:
+        for target in node.targets:
+            self._check(target, node, ctx)
+
+    def visit_AugAssign(self, node: ast.AugAssign, ctx: Context) -> None:
+        self._check(node.target, node, ctx)
+
+    def _check(self, target: ast.expr, node: ast.AST, ctx: Context) -> None:
+        attr = _counter_target(target)
+        if attr is None or attr.attr not in GUARDED_COUNTERS:
+            return
+        owner = GUARDED_COUNTERS[attr.attr]
+        via_self = isinstance(attr.value, ast.Name) and attr.value.id == "self"
+        if via_self and ctx.current_class == owner:
+            return
+        if via_self and ctx.current_class != owner:
+            where = f"class {ctx.current_class}" if ctx.current_class else "module level"
+            ctx.report(
+                self.name,
+                node,
+                f"counter '{attr.attr}' is owned by {owner} but assigned in "
+                f"{where}; move the mutation into a {owner} method",
+            )
+        else:
+            ctx.report(
+                self.name,
+                node,
+                f"counter '{attr.attr}' is owned by {owner} and may only be "
+                f"assigned through self inside {owner}; mutate it via the "
+                "owning class's methods (bump_state/note_*) instead",
+            )
+
+
+class WallClockRule(Rule):
+    name = "wall-clock"
+
+    _TIME_FUNCS = frozenset(
+        {"time", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns", "time_ns"}
+    )
+
+    def visit_Attribute(self, node: ast.Attribute, ctx: Context) -> None:
+        if not ctx.module.startswith("repro/core/"):
+            return
+        value = node.value
+        if (
+            isinstance(value, ast.Name)
+            and value.id == "time"
+            and node.attr in self._TIME_FUNCS
+        ):
+            ctx.report(
+                self.name,
+                node,
+                f"time.{node.attr}() in repro.core samples the wall clock; "
+                "core is a deterministic simulation -- take `now` as a "
+                "parameter from the engine's virtual clock",
+            )
+        elif node.attr in ("now", "utcnow") and (
+            (isinstance(value, ast.Name) and value.id == "datetime")
+            or (isinstance(value, ast.Attribute) and value.attr == "datetime")
+        ):
+            ctx.report(
+                self.name,
+                node,
+                "datetime.now() in repro.core samples the wall clock; core is "
+                "a deterministic simulation -- take `now` as a parameter",
+            )
+
+
+@dataclass
+class _ClassLayout:
+    path: str
+    declared: Set[str] = field(default_factory=set)
+    offenders: List[Tuple[str, int, int, str]] = field(default_factory=list)
+
+
+class DynamicAttrRule(Rule):
+    name = "dynamic-attr"
+
+    def __init__(self) -> None:
+        self.layouts: Dict[Tuple[str, str], _ClassLayout] = {}
+
+    def visit_ClassDef(self, node: ast.ClassDef, ctx: Context) -> None:
+        if node.name not in HOT_CLASSES:
+            return
+        layout = _ClassLayout(path=ctx.path)
+        self.layouts[(ctx.path, node.name)] = layout
+        for stmt in node.body:
+            # Class-level declarations and __slots__.
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                layout.declared.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        layout.declared.add(target.id)
+                        if target.id == "__slots__" and isinstance(
+                            stmt.value, (ast.Tuple, ast.List)
+                        ):
+                            for elt in stmt.value.elts:
+                                if isinstance(elt, ast.Constant):
+                                    layout.declared.add(str(elt.value))
+            elif isinstance(stmt, ast.FunctionDef):
+                in_init = stmt.name == "__init__"
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                    )
+                    for target in targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        if in_init:
+                            layout.declared.add(target.attr)
+                        else:
+                            layout.offenders.append(
+                                (target.attr, sub.lineno, sub.col_offset, stmt.name)
+                            )
+
+    def finalize(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for (path, class_name), layout in self.layouts.items():
+            for attr, line, col, func in layout.offenders:
+                if attr in layout.declared:
+                    continue
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        col,
+                        self.name,
+                        f"{class_name}.{func}() creates attribute '{attr}' "
+                        "outside __init__; declare it in __init__ (or "
+                        "__slots__) so the hot-path instance layout stays "
+                        "fixed",
+                    )
+                )
+        return findings

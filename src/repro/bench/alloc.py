@@ -37,7 +37,13 @@ from ..engine.scheduler import WaitingQueue, profile_config
 from ..models import get_model
 from ..platforms import L4, kv_budget
 
-__all__ = ["run_benchmark", "churn_bench", "queue_bench", "engine_bench"]
+__all__ = [
+    "run_benchmark",
+    "churn_bench",
+    "evictor_churn_bench",
+    "queue_bench",
+    "engine_bench",
+]
 
 _TEXT = frozenset({TEXT})
 
@@ -154,6 +160,57 @@ def churn_bench(num_large: int, num_ops: int, seed: int = 0,
     return result
 
 
+def evictor_churn_bench(live_items: int, num_ops: int, seed: int = 0) -> Dict:
+    """Touch-only churn on one :class:`LRUEvictor` -- the lazy heap's worst case.
+
+    Every touch re-``add``s a live item, stranding its previous heap
+    entry.  Eviction traffic would drain those for free (stale entries
+    carry *older* keys, so they sink to the heap top and ``evict``'s
+    stale-pop clears them), which is why this bench evicts nothing: under
+    pure touches only the compaction threshold bounds the heap.  The
+    bound (``COMPACT_RATIO`` x live set, asserted below) is what keeps
+    per-op cost flat as the live set grows.
+    """
+    from ..core.evictor import COMPACT_RATIO, LRUEvictor
+
+    rng = random.Random(seed)
+    evictor: LRUEvictor[int] = LRUEvictor()
+    now = 0.0
+    for item in range(live_items):
+        evictor.add(item, now)
+        now += 1.0
+    lat: List[float] = []
+    max_heap = 0
+    for _ in range(num_ops):
+        now += 1.0
+        item = rng.randrange(live_items)
+        t0 = time.perf_counter()
+        evictor.add(item, now, prefix_length=float(item))
+        lat.append(time.perf_counter() - t0)
+        max_heap = max(max_heap, len(evictor._heap))
+    assert len(evictor) == live_items
+    assert max_heap <= COMPACT_RATIO * live_items + 1, (max_heap, live_items)
+    # The eviction order must have survived compaction: the next victim
+    # is a live item holding the oldest stamp.
+    victim, last_access, _ = evictor.evict_with_key()
+    assert 0 <= victim < live_items
+    assert all(
+        evictor.priority_of(i)[0] >= last_access
+        for i in range(live_items)
+        if i in evictor
+    )
+
+    return {
+        "live_items": live_items,
+        "ops": len(lat),
+        "ops_per_sec": len(lat) / max(sum(lat), 1e-12),
+        "num_compactions": evictor.num_compactions,
+        "max_heap_entries": max_heap,
+        "heap_bound": COMPACT_RATIO * live_items + 1,
+        **_percentiles(lat),
+    }
+
+
 def queue_bench(depth: int, num_ops: int, seed: int = 0) -> Dict:
     """Steady-state WaitingQueue push+pop cost at a standing depth."""
     rng = random.Random(seed)
@@ -227,6 +284,8 @@ def engine_bench(num_requests: int, seed: int = 0, max_steps: int = 50_000) -> D
 _FULL_SCALE = {
     "churn_sizes": [64, 256, 1024],
     "churn_ops": 60_000,
+    "evictor_sizes": [1_000, 10_000],
+    "evictor_ops": 50_000,
     "queue_depths": [100, 1_000, 10_000],
     "queue_ops": 20_000,
     "engine_requests": 80,
@@ -234,6 +293,8 @@ _FULL_SCALE = {
 _SMOKE_SCALE = {
     "churn_sizes": [16, 64],
     "churn_ops": 6_000,
+    "evictor_sizes": [200, 1_000],
+    "evictor_ops": 5_000,
     "queue_depths": [50, 500],
     "queue_ops": 2_000,
     "engine_requests": 8,
@@ -269,6 +330,19 @@ def run_benchmark(
             f"p99 {churn_sweep[-1]['p99_us']:.2f}us")
     churn_scaling = churn_sweep[-1]["p50_us"] / max(churn_sweep[0]["p50_us"], 1e-9)
 
+    evictor_sweep = []
+    for live in knobs["evictor_sizes"]:
+        say(f"[evictor] {live} live items, {knobs['evictor_ops']} ops ...")
+        evictor_sweep.append(
+            evictor_churn_bench(live, knobs["evictor_ops"], seed=seed)
+        )
+        say(f"    {evictor_sweep[-1]['ops_per_sec']:,.0f} ops/s  "
+            f"p50 {evictor_sweep[-1]['p50_us']:.2f}us  "
+            f"compactions {evictor_sweep[-1]['num_compactions']}")
+    evictor_scaling = (
+        evictor_sweep[-1]["p50_us"] / max(evictor_sweep[0]["p50_us"], 1e-9)
+    )
+
     queue_sweep = []
     for depth in knobs["queue_depths"]:
         say(f"[queue] depth {depth}, {knobs['queue_ops']} push+pop pairs ...")
@@ -293,6 +367,13 @@ def run_benchmark(
             # ~1.0 means allocate/release cost does not grow with the
             # number of free pages (the O(1) free-pool claim).
             "scaling_ratio_p50": churn_scaling,
+        },
+        "evictor": {
+            "sweep": evictor_sweep,
+            # Touch-heavy churn: p50 at the largest live set over the
+            # smallest.  ~1.0 means lazy-heap compaction keeps per-op
+            # cost independent of the live-set size.
+            "scaling_ratio_p50": evictor_scaling,
         },
         "queue": {
             "sweep": queue_sweep,

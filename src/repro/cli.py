@@ -190,6 +190,19 @@ def cmd_bench_alloc(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import run_lint
+
+    findings = run_lint(args.paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"jengalint: {len(findings)} finding(s)")
+        return 1
+    print("jengalint: clean")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Jenga reproduction experiment runner"
@@ -250,6 +263,14 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_alloc.json")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_bench_alloc)
+
+    p = sub.add_parser(
+        "lint",
+        help="jengalint: AST-based invariant linter (see repro.analysis)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, Type
 
 __all__ = [
     "EventBus",
@@ -201,19 +201,52 @@ class EventBus:
     The ring buffer keeps the last ``capacity`` events for after-the-fact
     inspection (tests, debugging); subscribers see *every* event
     regardless of ring capacity.
+
+    ``capacity=0`` disables ring capture entirely: the bus becomes a pure
+    dispatcher, and :meth:`has_subscribers` returns ``False`` for event
+    types nobody listens to.  Emit call sites are expected to guard event
+    construction with that check (the "event-bus fast path"), so a
+    capture-free bus makes hot-path emission close to free.
     """
 
     def __init__(self, capacity: int = 1024) -> None:
-        self._ring: "deque[Event]" = deque(maxlen=capacity)
+        self._capture = capacity > 0
+        self._ring: Deque[Event] = deque(maxlen=capacity)
         self._subscribers: List[Tuple[Optional[Tuple[Type[Event], ...]], _Handler]] = []
-        self.counts: Counter = Counter()
+        # Per-event-type interest cache for has_subscribers(); invalidated
+        # on every subscribe/unsubscribe so lookups stay O(1) amortised.
+        self._interest: Dict[Type[Event], bool] = {}
+        self.counts: "Counter[str]" = Counter()
 
     def __len__(self) -> int:
         return len(self._ring)
 
+    def has_subscribers(self, event_type: Type[Event]) -> bool:
+        """Would an emitted ``event_type`` reach any consumer right now?
+
+        True when ring capture is enabled (the ring itself is a consumer:
+        tests and debuggers read it after the fact) or when at least one
+        subscriber's type filter matches.  Call sites use this to skip
+        constructing event dataclasses nobody would see::
+
+            if events is not None and events.has_subscribers(PageEvicted):
+                events.emit(PageEvicted(...))
+        """
+        if self._capture:
+            return True
+        cached = self._interest.get(event_type)
+        if cached is None:
+            cached = any(
+                types is None or issubclass(event_type, types)
+                for types, _ in self._subscribers
+            )
+            self._interest[event_type] = cached
+        return cached
+
     def emit(self, event: Event) -> None:
         """Publish ``event`` to the ring buffer and all matching handlers."""
-        self._ring.append(event)
+        if self._capture:
+            self._ring.append(event)
         self.counts[type(event).__name__] += 1
         for types, handler in self._subscribers:
             if types is None or isinstance(event, types):
@@ -230,12 +263,14 @@ class EventBus:
         """
         types = tuple(event_types) if event_types is not None else None
         self._subscribers.append((types, handler))
+        self._interest.clear()
         return handler
 
     def unsubscribe(self, handler: _Handler) -> bool:
         """Remove every subscription of ``handler``; return whether any existed."""
         before = len(self._subscribers)
         self._subscribers = [(t, h) for t, h in self._subscribers if h is not handler]
+        self._interest.clear()
         return len(self._subscribers) < before
 
     def recent(

@@ -17,20 +17,36 @@ policies assign to every page:
 new entry and stale entries are skipped on pop.  All operations are amortized
 ``O(log n)``; this matters because the engine touches evictor state for every
 block of every scheduled request on every step.
+
+Lazy deletion leaves dead entries in the heap.  Under touch-heavy churn
+(every re-``add`` of a live item strands its previous heap entry) the heap
+can grow far beyond the live set, inflating every subsequent push/pop.  The
+evictor therefore rebuilds the heap from the live priority map whenever dead
+entries outnumber live ones by :data:`COMPACT_RATIO`, bounding heap size to
+a constant multiple of the live set while keeping compaction cost amortized
+``O(1)`` per operation.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Generic, Hashable, List, Optional, Set, Tuple, TypeVar
 
-__all__ = ["LRUEvictor"]
+__all__ = ["LRUEvictor", "COMPACT_RATIO"]
 
 _Key = Tuple[float, float, int]
 
+T = TypeVar("T", bound=Hashable)
 
-class LRUEvictor:
+# Rebuild the lazy-deletion heap once it holds more than this many entries
+# per live item.  4x keeps rebuilds rare (amortized O(1) per mutation) while
+# bounding heap bloat -- and therefore per-operation log factors -- under
+# touch-heavy churn.
+COMPACT_RATIO = 4
+
+
+class LRUEvictor(Generic[T]):
     """Priority queue of evictable items keyed by (last_access, -prefix_length).
 
     Items are arbitrary hashable ids (small-page ids for the customized
@@ -38,23 +54,26 @@ class LRUEvictor:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[_Key, Hashable]] = []
-        self._priority: Dict[Hashable, _Key] = {}
+        self._heap: List[Tuple[_Key, T]] = []
+        self._priority: Dict[T, _Key] = {}
         self._counter = itertools.count()
+        self.num_compactions = 0
 
     def __len__(self) -> int:
         return len(self._priority)
 
-    def __contains__(self, item: Hashable) -> bool:
+    def __contains__(self, item: T) -> bool:
         return item in self._priority
 
-    def add(self, item: Hashable, last_access: float, prefix_length: float = 0.0) -> None:
+    def add(self, item: T, last_access: float, prefix_length: float = 0.0) -> None:
         """Insert ``item`` or update its priority if already present."""
         key = (last_access, -prefix_length, next(self._counter))
         self._priority[item] = key
         heapq.heappush(self._heap, (key, item))
+        if len(self._heap) > COMPACT_RATIO * max(1, len(self._priority)):
+            self._rebuild()
 
-    def remove(self, item: Hashable) -> None:
+    def remove(self, item: T) -> None:
         """Remove ``item`` (e.g. a cache hit revived the page).
 
         Raises :class:`KeyError` if absent, because silently ignoring a
@@ -62,18 +81,18 @@ class LRUEvictor:
         """
         del self._priority[item]
 
-    def discard(self, item: Hashable) -> bool:
+    def discard(self, item: T) -> bool:
         """Remove ``item`` if present; return whether it was present."""
         return self._priority.pop(item, None) is not None
 
-    def peek(self) -> Optional[Hashable]:
+    def peek(self) -> Optional[T]:
         """Return the next eviction victim without removing it."""
         self._compact()
         if not self._heap:
             return None
         return self._heap[0][1]
 
-    def evict(self) -> Hashable:
+    def evict(self) -> T:
         """Pop and return the item with the earliest last access.
 
         Ties on ``last_access`` break toward the largest ``prefix_length``
@@ -81,7 +100,7 @@ class LRUEvictor:
         """
         return self.evict_with_key()[0]
 
-    def evict_with_key(self) -> Tuple[Hashable, float, float]:
+    def evict_with_key(self) -> Tuple[T, float, float]:
         """Like :meth:`evict`, also returning the victim's priority.
 
         Returns ``(item, last_access, prefix_length)`` -- the two-key
@@ -95,12 +114,12 @@ class LRUEvictor:
         del self._priority[item]
         return item, key[0], -key[1]
 
-    def priority_of(self, item: Hashable) -> Tuple[float, float]:
+    def priority_of(self, item: T) -> Tuple[float, float]:
         """Return ``(last_access, prefix_length)`` currently recorded for ``item``."""
         key = self._priority[item]
         return (key[0], -key[1])
 
-    def items_in_order(self) -> List[Hashable]:
+    def items_in_order(self) -> List[T]:
         """All items in eviction order (cheapest victim first).
 
         Intended for tests and the fragmentation benchmark's introspection;
@@ -109,8 +128,8 @@ class LRUEvictor:
         self._compact()
         live = [(key, item) for key, item in self._heap if self._priority.get(item) == key]
         live.sort()
-        seen = set()
-        ordered = []
+        seen: Set[T] = set()
+        ordered: List[T] = []
         for _, item in live:
             if item not in seen:
                 seen.add(item)
@@ -125,3 +144,9 @@ class LRUEvictor:
             if self._priority.get(item) == key:
                 return
             heapq.heappop(heap)
+
+    def _rebuild(self) -> None:
+        """Rebuild the heap from the live priority map (dead/live > ratio)."""
+        self._heap = [(key, item) for item, key in self._priority.items()]
+        heapq.heapify(self._heap)
+        self.num_compactions += 1

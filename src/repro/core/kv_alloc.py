@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from .kv_binding import GroupBinding, policy_pages_to_write
+from .kv_binding import BindingTableMixin, GroupBinding, policy_pages_to_write
 from .layer_policy import (
     DROPPED_TOKEN,
     GroupSpec,
@@ -27,12 +27,12 @@ from .sequence import SequenceSpec
 __all__ = ["AllocationMixin", "ideal_resident_bytes"]
 
 
-class AllocationMixin:
+class AllocationMixin(BindingTableMixin):
     """Request-granular allocation over the five-step page allocator.
 
-    Expects the composing class to provide ``specs``, ``policies``,
-    ``allocator``, and the :class:`~repro.core.kv_binding.BindingTableMixin`
-    plumbing.
+    Extends :class:`~repro.core.kv_binding.BindingTableMixin`, whose
+    declared attributes (``specs``, ``policies``, ``allocator``, ...) the
+    composing manager supplies.
     """
 
     def allocate_up_to(self, seq: SequenceSpec, target_global: int) -> bool:
@@ -170,7 +170,7 @@ class AllocationMixin:
     def pages_needed(self, seq: SequenceSpec, target_global: int) -> Dict[str, int]:
         """New pages each group would need to reach ``target_global``."""
         bindings = self._bindings.get(seq.request_id)
-        needed = {}
+        needed: Dict[str, int] = {}
         for group_id, spec in self.specs.items():
             policy = self.policies[group_id]
             target_stream = seq.stream_length(spec.accepted_tags, target_global)
@@ -231,7 +231,8 @@ class AllocationMixin:
                 # group transiently holds up to window + chunk tokens
                 # (capped by the stream itself).
                 stream_total = seq.stream_length(spec.accepted_tags)
-                limit = int(spec.window or spec.budget)
+                limit = spec.window if spec.window is not None else spec.budget
+                assert limit is not None  # validated in GroupSpec.__post_init__
                 peak_tokens = min(stream_total, limit + chunk_tokens)
                 n = max(n, -(-peak_tokens // spec.tokens_per_page))
             group = self.allocator.groups[group_id]

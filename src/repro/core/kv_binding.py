@@ -13,19 +13,21 @@ composes all three over :class:`~repro.core.protocols.KVCacheManagerBase`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from .layer_policy import (
     DROPPED_TOKEN,
+    GroupSpec,
     LayerTypePolicy,
     MAMBA,
+    MambaPolicy,
     SLIDING_WINDOW,
     VISION_EMBEDDING,
     VisionEmbeddingPolicy,
 )
 from .pages import SmallPage
 from .sequence import SequenceSpec
-from .two_level import GroupAllocator
+from .two_level import GroupAllocator, TwoLevelAllocator
 
 __all__ = ["GroupBinding", "BindingTableMixin", "policy_pages_to_write"]
 
@@ -79,8 +81,15 @@ class BindingTableMixin:
     """Binding-table plumbing shared by the KV manager's mixins.
 
     Expects the composing class to provide ``specs``, ``policies``,
-    ``allocator``, ``_bindings``, and ``_stream_cache``.
+    ``allocator``, ``_bindings``, and ``_stream_cache`` (declared below so
+    the mixins type-check standalone under ``mypy --strict``).
     """
+
+    specs: Dict[str, GroupSpec]
+    policies: Dict[str, LayerTypePolicy]
+    allocator: TwoLevelAllocator
+    _bindings: Dict[str, Dict[str, GroupBinding]]
+    _stream_cache: Dict[Tuple[str, str], List[int]]
 
     def touch(self, seq: SequenceSpec, now: float) -> None:
         """Refresh access stamps without committing new tokens."""
@@ -102,8 +111,9 @@ class BindingTableMixin:
         first = binding.filled_upto // tpp
         last = (stream_len + tpp - 1) // tpp
         for idx in range(first, last):
-            if idx in binding.held and binding.page_table[idx] is not None:
-                page = group.pages.get(binding.page_table[idx])
+            page_id = binding.page_table[idx]
+            if idx in binding.held and page_id is not None:
+                page = group.pages.get(page_id)
                 if page is not None:
                     new_tokens = max(0, min(tpp, stream_len - idx * tpp))
                     group.note_fill(new_tokens - page.num_tokens)
@@ -114,7 +124,8 @@ class BindingTableMixin:
         """First page index the request still needs (all below are dead)."""
         spec = policy.spec
         if spec.kind in (SLIDING_WINDOW, DROPPED_TOKEN):
-            window = int(spec.window)
+            window = spec.window
+            assert window is not None  # validated in GroupSpec.__post_init__
             return max(0, stream_len - window) // spec.tokens_per_page
         if spec.kind == VISION_EMBEDDING:
             assert isinstance(policy, VisionEmbeddingPolicy)
@@ -173,12 +184,14 @@ class BindingTableMixin:
         if spec.kind == MAMBA:
             if idx == 0:
                 return float(10**12)
+            assert isinstance(policy, MambaPolicy)
             return float(policy.boundary_of_block(idx - 1))
         if isinstance(policy, VisionEmbeddingPolicy):
+            probe_page = SmallPage(page_id=-1, group_id=spec.group_id)
             probe: List[Optional[SmallPage]] = [None] * (idx + 1)
-            probe[idx] = SmallPage(page_id=-1, group_id=spec.group_id)
+            probe[idx] = probe_page
             policy.set_prefix_length(probe, seq)
-            return probe[idx].prefix_length
+            return probe_page.prefix_length
         return float((idx + 1) * spec.tokens_per_page)
 
     def _stream_of(self, seq: SequenceSpec, group_id: str) -> List[int]:

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .events import PageEvictedToHost, PrefixHit
-from .kv_binding import GroupBinding
+from .events import EventBus, PageEvictedToHost, PrefixHit
+from .kv_binding import BindingTableMixin, GroupBinding
+from .offload import HostMemoryPool
 from .layer_policy import LayerTypePolicy, MAMBA, VISION_EMBEDDING
 from .pages import SmallPage
 from .prefix_cache import chain_hashes, longest_common_prefix
@@ -25,13 +26,20 @@ __all__ = ["PrefixCacheMixin"]
 _HASH_SEED = 0x9E3779B97F4A7C15
 
 
-class PrefixCacheMixin:
+class PrefixCacheMixin(BindingTableMixin):
     """Prefix-cache lookup, registration, and offload coordination.
 
-    Expects the composing class to provide ``specs``, ``policies``,
-    ``allocator``, ``events``, ``enable_prefix_caching``, ``host_pool``,
-    and the binding-table plumbing.
+    Extends :class:`~repro.core.kv_binding.BindingTableMixin`; the extra
+    attributes declared here (``events``, ``enable_prefix_caching``,
+    ``host_pool``, hit accounting) are supplied by the composing manager.
     """
+
+    events: EventBus
+    enable_prefix_caching: bool
+    host_pool: Optional[HostMemoryPool]
+    lookup_tokens: int
+    hit_tokens: int
+    _pending_onload_bytes: Dict[str, int]
 
     def begin_request(self, seq: SequenceSpec) -> int:
         """Register ``seq`` and acquire its prefix-cache hit.
@@ -81,7 +89,8 @@ class PrefixCacheMixin:
         hit_global = longest_common_prefix(seq, valid, tags, max_global=len(seq) - 1)
         self.lookup_tokens += len(seq)
         if hit_global <= 0:
-            self.events.emit(PrefixHit(seq.request_id, 0, len(seq)))
+            if self.events.has_subscribers(PrefixHit):
+                self.events.emit(PrefixHit(seq.request_id, 0, len(seq)))
             return 0
 
         acquired: List[Tuple[str, int]] = []
@@ -139,10 +148,12 @@ class PrefixCacheMixin:
                 self.allocator.release_page(group_id, page_id, cacheable=True)
             for group_id in self.specs:
                 bindings[group_id] = GroupBinding()
-            self.events.emit(PrefixHit(seq.request_id, 0, len(seq)))
+            if self.events.has_subscribers(PrefixHit):
+                self.events.emit(PrefixHit(seq.request_id, 0, len(seq)))
             return 0
         self.hit_tokens += hit_global
-        self.events.emit(PrefixHit(seq.request_id, hit_global, len(seq)))
+        if self.events.has_subscribers(PrefixHit):
+            self.events.emit(PrefixHit(seq.request_id, hit_global, len(seq)))
         return hit_global
 
     def _needed_hit_pages(
@@ -157,7 +168,7 @@ class PrefixCacheMixin:
         if policy.spec.kind == MAMBA:
             return []
         active = policy.active_page_indices(cached_stream)
-        needed = []
+        needed: List[int] = []
         for block_idx, boundary in enumerate(boundaries):
             if boundary > cached_stream:
                 break
@@ -186,8 +197,9 @@ class PrefixCacheMixin:
             state = hash((state, tuple(stream[pos:boundary])))
             pos = boundary
             idx = policy.page_index_of_block(block_idx)
-            if idx in binding.held and binding.page_table[idx] is not None:
-                page = group.pages.get(binding.page_table[idx])
+            page_id = binding.page_table[idx] if idx in binding.held else None
+            if page_id is not None:
+                page = group.pages.get(page_id)
                 if page is not None and page.block_hash is None:
                     self.allocator.register_block_hash(group_id, page, state)
                     if policy.spec.kind == MAMBA:
@@ -223,7 +235,8 @@ class PrefixCacheMixin:
         """Spill an evicted cached block to the host pool."""
         assert self.host_pool is not None
         self.host_pool.offload(block_hash, group_id, page_bytes)
-        self.events.emit(PageEvictedToHost(group_id, block_hash, page_bytes))
+        if self.events.has_subscribers(PageEvictedToHost):
+            self.events.emit(PageEvictedToHost(group_id, block_hash, page_bytes))
 
     def _materialize_from_host(
         self,

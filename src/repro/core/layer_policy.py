@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .pages import SmallPage
 from .sequence import IMAGE, TEXT, SequenceSpec, TokenTag
@@ -128,13 +128,15 @@ class GroupSpec:
     def page_bytes(self) -> int:
         """Small page size in bytes (the unit the LCM is taken over)."""
         if self.kind == MAMBA:
-            return int(self.state_bytes)
+            assert self.state_bytes is not None  # validated in __post_init__
+            return self.state_bytes
         return self.per_token_bytes * self.tokens_per_page
 
     def bytes_for_tokens(self, num_tokens: int) -> int:
         """Bytes of *useful* cache for ``num_tokens`` resident stream tokens."""
         if self.kind == MAMBA:
-            return int(self.state_bytes)
+            assert self.state_bytes is not None  # validated in __post_init__
+            return self.state_bytes
         return self.per_token_bytes * num_tokens
 
 
@@ -231,7 +233,7 @@ class FullAttentionPolicy(LayerTypePolicy):
 
     def get_possible_prefix(self, is_hit: Sequence[bool]) -> List[int]:
         tpp = self.spec.tokens_per_page
-        prefixes = []
+        prefixes: List[int] = []
         for b, hit in enumerate(is_hit):
             if not hit:
                 break
@@ -252,11 +254,17 @@ class SlidingWindowPolicy(LayerTypePolicy):
     tokens hits iff the blocks covering ``[p - window, p)`` are all cached.
     """
 
+    @property
+    def window(self) -> int:
+        """The (validated non-None) window size in stream tokens."""
+        assert self.spec.window is not None  # validated in GroupSpec.__post_init__
+        return self.spec.window
+
     def active_page_indices(self, stream_len: int) -> Set[int]:
         if stream_len == 0:
             return set()
         tpp = self.spec.tokens_per_page
-        window = int(self.spec.window)
+        window = self.window
         num_pages = self.num_pages_for(stream_len)
         # The next token attends to stream tokens [stream_len - window,
         # stream_len); keep every page overlapping that span.
@@ -265,12 +273,12 @@ class SlidingWindowPolicy(LayerTypePolicy):
         return set(range(first_page, num_pages))
 
     def resident_tokens(self, stream_len: int) -> int:
-        return min(stream_len, int(self.spec.window))
+        return min(stream_len, self.window)
 
     def get_possible_prefix(self, is_hit: Sequence[bool]) -> List[int]:
         tpp = self.spec.tokens_per_page
-        window = int(self.spec.window)
-        prefixes = []
+        window = self.window
+        prefixes: List[int] = []
         for b in range(len(is_hit)):
             p = (b + 1) * tpp
             lo_block = max(0, p - window) // tpp
@@ -282,8 +290,11 @@ class SlidingWindowPolicy(LayerTypePolicy):
         self, pages: Sequence[Optional[SmallPage]], stream_len: int, now: float
     ) -> None:
         for idx in self.active_page_indices(stream_len):
-            if idx < len(pages) and pages[idx] is not None:
-                pages[idx].last_access = now
+            if idx >= len(pages):
+                continue
+            page = pages[idx]
+            if page is not None:
+                page.last_access = now
 
 
 class DroppedTokenPolicy(SlidingWindowPolicy):
@@ -364,7 +375,7 @@ class MambaPolicy(LayerTypePolicy):
             return []
         interval = self.spec.checkpoint_interval
         if self.spec.checkpoint_schedule == "exponential":
-            boundaries = []
+            boundaries: List[int] = []
             position = interval
             while position <= stream_len:
                 boundaries.append(position)
@@ -429,10 +440,10 @@ class VisionEmbeddingPolicy(LayerTypePolicy):
     def __init__(self, spec: GroupSpec, seed: int = 0) -> None:
         super().__init__(spec)
         self._rng = random.Random(seed)
-        self._image_draws: dict = {}
+        self._image_draws: Dict[Tuple[str, int], float] = {}
         # Per-request consumed watermark (stream tokens fully consumed by
         # prefill).  The manager updates it; active_page_indices reads it.
-        self._consumed: dict = {}
+        self._consumed: Dict[str, int] = {}
 
     def set_consumed(self, request_id: str, consumed_stream_tokens: int) -> None:
         self._consumed[request_id] = consumed_stream_tokens
@@ -448,7 +459,7 @@ class VisionEmbeddingPolicy(LayerTypePolicy):
 
     def get_possible_prefix(self, is_hit: Sequence[bool]) -> List[int]:
         tpp = self.spec.tokens_per_page
-        prefixes = []
+        prefixes: List[int] = []
         for b, hit in enumerate(is_hit):
             if not hit:
                 break
@@ -479,7 +490,7 @@ class VisionEmbeddingPolicy(LayerTypePolicy):
 
     def _image_spans_in_stream(self, seq: SequenceSpec) -> List[Tuple[int, int]]:
         """Image spans converted from global to stream coordinates."""
-        spans = []
+        spans: List[Tuple[int, int]] = []
         for s, e in seq.image_spans:
             spans.append(
                 (

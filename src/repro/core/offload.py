@@ -70,7 +70,7 @@ class HostMemoryPool:
     def __init__(self, config: OffloadConfig) -> None:
         self.config = config
         self._entries: Dict[int, Tuple[str, int]] = {}
-        self._lru = LRUEvictor()
+        self._lru: LRUEvictor[int] = LRUEvictor()
         self._clock = 0
         self.used_bytes = 0
         self.stats = OffloadStats()

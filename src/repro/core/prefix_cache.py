@@ -15,7 +15,7 @@ and intersects across groups.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
 from .sequence import SequenceSpec, TokenTag
 
@@ -139,7 +139,7 @@ def longest_common_prefix(
     if cap <= 0:
         return 0
 
-    valid_sets: Dict[str, set] = {}
+    valid_sets: Dict[str, Set[int]] = {}
     for group_id, prefixes in valid_stream_prefixes.items():
         s = set(prefixes)
         s.add(0)

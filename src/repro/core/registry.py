@@ -27,7 +27,7 @@ subclass whose message lists what *is* registered.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 __all__ = [
     "UnknownManagerError",
@@ -37,7 +37,9 @@ __all__ = [
     "create_manager",
 ]
 
-_REGISTRY: Dict[str, Dict[str, Callable]] = {"model": {}, "spec": {}}
+_Factory = Callable[..., Any]
+
+_REGISTRY: Dict[str, Dict[str, _Factory]] = {"model": {}, "spec": {}}
 
 
 class UnknownManagerError(KeyError):
@@ -55,18 +57,18 @@ class UnknownManagerError(KeyError):
         return self.args[0]
 
 
-def _namespace(kind: str) -> Dict[str, Callable]:
+def _namespace(kind: str) -> Dict[str, _Factory]:
     try:
         return _REGISTRY[kind]
     except KeyError:
         raise ValueError(f"unknown registry kind {kind!r}") from None
 
 
-def register_manager(name: str, kind: str = "model") -> Callable[[Callable], Callable]:
+def register_manager(name: str, kind: str = "model") -> Callable[[_Factory], _Factory]:
     """Decorator: register ``factory`` under ``name`` in namespace ``kind``."""
     namespace = _namespace(kind)
 
-    def deco(factory: Callable) -> Callable:
+    def deco(factory: _Factory) -> _Factory:
         existing = namespace.get(name)
         if existing is not None and existing is not factory:
             raise ValueError(f"{kind} manager {name!r} is already registered")
@@ -76,7 +78,7 @@ def register_manager(name: str, kind: str = "model") -> Callable[[Callable], Cal
     return deco
 
 
-def resolve_manager(name: str, kind: str = "model") -> Callable:
+def resolve_manager(name: str, kind: str = "model") -> _Factory:
     """Return the factory registered under ``name`` or raise
     :class:`UnknownManagerError`."""
     try:
@@ -90,6 +92,6 @@ def available_managers(kind: str = "model") -> List[str]:
     return sorted(_namespace(kind))
 
 
-def create_manager(name: str, kind: str = "model", /, *args, **kwargs):
+def create_manager(name: str, kind: str = "model", /, *args: Any, **kwargs: Any) -> Any:
     """Resolve ``name`` and call its factory with ``*args, **kwargs``."""
     return resolve_manager(name, kind)(*args, **kwargs)

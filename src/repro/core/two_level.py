@@ -30,7 +30,7 @@ caller (the KV manager / scheduler) must preempt a request.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .events import EventBus, LargePageCarved, PageAllocated, PageEvicted, PageReleased
 from .evictor import LRUEvictor
@@ -84,7 +84,7 @@ class GroupAllocator:
         # EMPTY pages carved into this group, indexed by request
         # association and by owning large page (O(1) push/pop/purge).
         self.free_pool = FreePool()
-        self.evictor = LRUEvictor()
+        self.evictor: LRUEvictor[int] = LRUEvictor()
         self.cache_index = CachedBlockIndex()
         # Pages evicted cumulatively (for benchmark introspection).
         self.num_evictions = 0
@@ -99,6 +99,27 @@ class GroupAllocator:
     def note_fill(self, delta_tokens: int) -> None:
         """Record a change in filled token slots of USED pages."""
         self.used_filled_tokens += delta_tokens
+
+    def note_eviction(self) -> None:
+        """Record one small-page eviction (benchmark introspection)."""
+        self.num_evictions += 1
+
+    def bump_state(self, old: PageState, new: PageState) -> None:
+        """Maintain the per-state running counters for one page transition.
+
+        The counters (``n_used``/``n_evictable``/``n_empty_carved``) back
+        the O(groups) :meth:`TwoLevelAllocator.stats` path, so every state
+        transition must pass through here; they are owned by this class and
+        mutated nowhere else (the ``guarded-counter`` lint rule enforces
+        that).
+        """
+        for state, delta in ((old, -1), (new, +1)):
+            if state is PageState.EMPTY:
+                self.n_empty_carved += delta
+            elif state is PageState.USED:
+                self.n_used += delta
+            else:
+                self.n_evictable += delta
 
     # -- free-pool bookkeeping -----------------------------------------
 
@@ -172,8 +193,8 @@ class TwoLevelAllocator:
             for g in specs
         }
         # Per-large-page state counts: [empty, used, evictable].
-        self._large_counts: Dict[int, list] = {}
-        self.large_evictor = LRUEvictor()
+        self._large_counts: Dict[int, List[int]] = {}
+        self.large_evictor: LRUEvictor[int] = LRUEvictor()
         # Members of large_evictor per owning group, maintained alongside
         # every add/remove so capacity probes never scan the evictor.
         self._num_fully_evictable: Dict[str, int] = {g: 0 for g in specs}
@@ -181,7 +202,7 @@ class TwoLevelAllocator:
         # Optional hook fired when a *cached* (hashed) page is reclaimed:
         # (group_id, block_hash, page_bytes).  The KV manager uses it to
         # spill evicted blocks to a host-memory offload tier (Section 8).
-        self.eviction_listener = None
+        self.eviction_listener: Optional[Callable[[str, int, int], None]] = None
         # Event bus receiving PageAllocated/LargePageCarved/PageEvicted/
         # PageReleased records; None keeps emission free for direct
         # constructions (property tests, micro-benchmarks).
@@ -223,10 +244,11 @@ class TwoLevelAllocator:
         if len(self.large_evictor):
             victim_id, last_access, prefix_length = self.large_evictor.evict_with_key()
             victim_group = self.lcm.page(victim_id).owner_group
+            assert victim_group is not None
             self._num_fully_evictable[victim_group] -= 1
             self._evict_large_page(victim_id)
             self.num_large_evictions += 1
-            if self.events is not None:
+            if self.events is not None and self.events.has_subscribers(PageEvicted):
                 self.events.emit(PageEvicted(
                     victim_group, victim_id, "large", last_access, prefix_length
                 ))
@@ -243,8 +265,8 @@ class TwoLevelAllocator:
             victim_id, last_access, prefix_length = group.evictor.evict_with_key()
             victim = group.pages[victim_id]
             self._reclaim_evictable(group, victim)
-            group.num_evictions += 1
-            if self.events is not None:
+            group.note_eviction()
+            if self.events is not None and self.events.has_subscribers(PageEvicted):
                 self.events.emit(PageEvicted(
                     group_id, victim_id, "small", last_access, prefix_length
                 ))
@@ -257,7 +279,7 @@ class TwoLevelAllocator:
     ) -> SmallPage:
         """Activate ``page`` and publish which §5.4 step satisfied the need."""
         page = self._activate(group, page, request_id)
-        if self.events is not None:
+        if self.events is not None and self.events.has_subscribers(PageAllocated):
             self.events.emit(PageAllocated(
                 group.spec.group_id, request_id, page.page_id, step
             ))
@@ -265,7 +287,7 @@ class TwoLevelAllocator:
 
     def _carve_and_take(self, group: GroupAllocator, request_id: str) -> SmallPage:
         large = self.lcm.allocate(group.spec.group_id)
-        if self.events is not None:
+        if self.events is not None and self.events.has_subscribers(LargePageCarved):
             self.events.emit(LargePageCarved(
                 group.spec.group_id, large.page_id, group.small_per_large
             ))
@@ -316,7 +338,7 @@ class TwoLevelAllocator:
             group.evictor.add(page.page_id, page.last_access, page.prefix_length)
         else:
             self._free_page(group, page)
-        if self.events is not None:
+        if self.events is not None and self.events.has_subscribers(PageReleased):
             self.events.emit(PageReleased(group_id, page_id, cached))
 
     def acquire_cached(
@@ -393,11 +415,12 @@ class TwoLevelAllocator:
         page.request_id = request_id  # keep the association for step 1
         self._bump(page, old_state, PageState.EMPTY)
         large_id = page.large_page_id
-        counts = self._large_counts.get(large_id)
-        if counts is not None and counts[0] == self._total_slots(large_id):
-            self._return_large_page(large_id)
-        else:
-            group.push_free(page)
+        if large_id is not None:
+            counts = self._large_counts.get(large_id)
+            if counts is not None and counts[0] == self._total_slots(large_id):
+                self._return_large_page(large_id)
+                return
+        group.push_free(page)
 
     def _reclaim_evictable(self, group: GroupAllocator, page: SmallPage) -> None:
         """Strip cached content from an evicted page, leaving it EMPTY."""
@@ -417,6 +440,7 @@ class TwoLevelAllocator:
     def _evict_large_page(self, large_id: int) -> None:
         """Evict every (evictable) small page of ``large_id`` and free it."""
         large = self.lcm.page(large_id)
+        assert large.owner_group is not None
         group = self.groups[large.owner_group]
         for small_id in list(large.small_page_ids):
             page = group.pages.get(small_id)
@@ -435,14 +459,14 @@ class TwoLevelAllocator:
                             group.spec.page_bytes,
                         )
                     group.cache_index.remove(page.block_hash, page.page_id)
-                group.num_evictions += 1
-                group.n_evictable -= 1
-                group.n_empty_carved += 1
+                group.note_eviction()
+                group.bump_state(PageState.EVICTABLE, PageState.EMPTY)
             page.reset()
         self._return_large_page(large_id, already_reset=True)
 
     def _return_large_page(self, large_id: int, already_reset: bool = False) -> None:
         large = self.lcm.page(large_id)
+        assert large.owner_group is not None
         group = self.groups[large.owner_group]
         for small_id in large.small_page_ids:
             page = group.pages.get(small_id)
@@ -469,14 +493,9 @@ class TwoLevelAllocator:
 
     def _bump(self, page: SmallPage, old: PageState, new: PageState) -> None:
         """Maintain per-large-page and per-group state counters."""
-        group = self.groups[page.group_id]
-        for state, delta in ((old, -1), (new, +1)):
-            if state is PageState.EMPTY:
-                group.n_empty_carved += delta
-            elif state is PageState.USED:
-                group.n_used += delta
-            else:
-                group.n_evictable += delta
+        self.groups[page.group_id].bump_state(old, new)
+        if page.large_page_id is None:
+            return
         counts = self._large_counts.get(page.large_page_id)
         if counts is None:
             return
@@ -501,6 +520,7 @@ class TwoLevelAllocator:
         """Eviction key of a fully-evictable large page: the component-wise
         max of ``(last_access, prefix_length)`` over its small pages."""
         large = self.lcm.page(large_id)
+        assert large.owner_group is not None
         group = self.groups[large.owner_group]
         last = -1.0
         prefix = 0.0
@@ -516,12 +536,16 @@ class TwoLevelAllocator:
 
     def _large_evictor_add(self, large_id: int, last_access: float, prefix: float) -> None:
         if large_id not in self.large_evictor:
-            self._num_fully_evictable[self.lcm.page(large_id).owner_group] += 1
+            owner = self.lcm.page(large_id).owner_group
+            assert owner is not None
+            self._num_fully_evictable[owner] += 1
         self.large_evictor.add(large_id, last_access, prefix)
 
     def _large_evictor_discard(self, large_id: int) -> None:
         if self.large_evictor.discard(large_id):
-            self._num_fully_evictable[self.lcm.page(large_id).owner_group] -= 1
+            owner = self.lcm.page(large_id).owner_group
+            assert owner is not None
+            self._num_fully_evictable[owner] -= 1
 
     # ------------------------------------------------------------------
     # Capacity probes and accounting
@@ -613,6 +637,7 @@ class TwoLevelAllocator:
 
     def extent_of(self, group_id: str, page: SmallPage) -> PhysicalExtent:
         """Physical placement of a small page (page-layer partition, §4.2)."""
+        assert page.large_page_id is not None
         base = self.lcm.extent_of(page.large_page_id)
         size = self.groups[group_id].spec.page_bytes
         return PhysicalExtent(base.start + page.slot * size, size)
@@ -626,7 +651,7 @@ class TwoLevelAllocator:
         further checks, so an overlap here would be silent corruption on
         real hardware.  O(pages log pages); used by the property tests.
         """
-        extents = []
+        extents: List[Tuple[int, int, str, int]] = []
         for group_id, group in self.groups.items():
             for page in group.pages.values():
                 extent = self.extent_of(group_id, page)
@@ -646,6 +671,7 @@ class TwoLevelAllocator:
             group.free_pool.check_consistent()
             n_empty = 0
             for page in group.pages.values():
+                assert page.large_page_id is not None
                 large = self.lcm.page(page.large_page_id)
                 assert large.owner_group == group_id, (
                     f"page {page.page_id} of {group_id} sits in large page "
@@ -670,6 +696,7 @@ class TwoLevelAllocator:
             total = self._total_slots(large_id)
             assert sum(counts) == total, (large_id, counts, total)
             large = self.lcm.page(large_id)
+            assert large.owner_group is not None
             group = self.groups[large.owner_group]
             actual = [0, 0, 0]
             for sid in large.small_page_ids:

@@ -238,12 +238,13 @@ class LLMEngine:
             self._admission_cooldown = self._PREEMPTION_COOLDOWN_STEPS
         elif self._admission_cooldown:
             self._admission_cooldown -= 1
-        self.events.emit(StepCompleted(
-            record.index,
-            record.start_time + record.duration,
-            record.num_preemptions,
-            record,
-        ))
+        if self.events.has_subscribers(StepCompleted):
+            self.events.emit(StepCompleted(
+                record.index,
+                record.start_time + record.duration,
+                record.num_preemptions,
+                record,
+            ))
         return record
 
     @staticmethod
@@ -274,7 +275,8 @@ class LLMEngine:
                     self.waiting.pop_ready(now)
                     request.state = RequestState.FINISHED
                     self.failed.append(request)
-                    self.events.emit(RequestFailed(request.request_id, now))
+                    if self.events.has_subscribers(RequestFailed):
+                        self.events.emit(RequestFailed(request.request_id, now))
                     continue
                 break
             if self.model.vision is not None and seq.image_spans and not request.encoder_done:
@@ -285,7 +287,8 @@ class LLMEngine:
                             self.waiting.pop_ready(now)
                             request.state = RequestState.FINISHED
                             self.failed.append(request)
-                            self.events.emit(RequestFailed(request.request_id, now))
+                            if self.events.has_subscribers(RequestFailed):
+                                self.events.emit(RequestFailed(request.request_id, now))
                             continue
                         break
                 # The encoder runs once at admission.  Without an embedding
@@ -303,7 +306,8 @@ class LLMEngine:
                 request.cached_prompt_tokens = hit
             request.state = RequestState.RUNNING
             self.running.append(request)
-            self.events.emit(RequestAdmitted(request.request_id, now, cached_tokens=hit))
+            if self.events.has_subscribers(RequestAdmitted):
+                self.events.emit(RequestAdmitted(request.request_id, now, cached_tokens=hit))
             # Keep running sorted by arrival so scheduling priority (and
             # victim choice: latest arrival first) is stable across
             # preempt/readmit cycles; otherwise a readmitted early request
@@ -359,7 +363,8 @@ class LLMEngine:
         self.manager.release(victim.seq, cacheable=True)
         victim.reset_for_recompute()
         self.running.remove(victim)
-        self.events.emit(RequestPreempted(victim.request_id, self.clock, reason=reason))
+        if self.events.has_subscribers(RequestPreempted):
+            self.events.emit(RequestPreempted(victim.request_id, self.clock, reason=reason))
         self.waiting.push(victim)
 
     def _fail(self, request: Request) -> None:
@@ -368,7 +373,8 @@ class LLMEngine:
         if request in self.running:
             self.running.remove(request)
         self.failed.append(request)
-        self.events.emit(RequestFailed(request.request_id, self.clock))
+        if self.events.has_subscribers(RequestFailed):
+            self.events.emit(RequestFailed(request.request_id, self.clock))
 
     def _finalize(self, request: Request, n: int, end: float) -> None:
         request.num_computed_tokens += n
@@ -398,7 +404,8 @@ class LLMEngine:
         request.finish_time = end
         self.manager.release(request.seq, cacheable=True)
         self.running.remove(request)
-        self.events.emit(RequestFinished(request.request_id, end))
+        if self.events.has_subscribers(RequestFinished):
+            self.events.emit(RequestFinished(request.request_id, end))
         self.finished.append(
             RequestMetrics(
                 request_id=request.request_id,

@@ -72,7 +72,9 @@ def profile_config(name: str, **overrides) -> SchedulerConfig:
     """Scheduler preset by engine name (see module docstring)."""
     base = PROFILES.get(name)
     if base is None:
-        raise KeyError(f"unknown scheduler profile {name!r}; have {sorted(PROFILES)}")
+        # Error path over the 3-entry profile table, not pool state.
+        names = sorted(PROFILES)  # jengalint: disable=hot-path-scan
+        raise KeyError(f"unknown scheduler profile {name!r}; have {names}")
     return base.with_(**overrides) if overrides else base
 
 
@@ -113,7 +115,7 @@ class WaitingQueue:
             self._heap,
             (request.arrival_time, freshness, next(self._seq), request),
         )
-        if self.events is not None:
+        if self.events is not None and self.events.has_subscribers(RequestQueued):
             self.events.emit(RequestQueued(request.request_id, request.arrival_time))
 
     def peek_ready(self, now: float) -> Optional[Request]:

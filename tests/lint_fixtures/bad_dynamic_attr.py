@@ -1,0 +1,14 @@
+"""Fixture: hot-path class growing attributes late (rule dynamic-attr)."""
+
+
+class LRUEvictor:
+    def __init__(self):
+        self._heap = []
+        self._priority = {}
+
+    def enable_tracing(self):
+        self._trace_log = []
+
+    def evict(self):
+        self.last_victim = self._heap[0]
+        return self.last_victim

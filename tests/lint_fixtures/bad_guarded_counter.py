@@ -1,0 +1,18 @@
+"""Fixture: guarded counter assigned outside its owner (rule guarded-counter)."""
+
+
+class Scheduler:
+    def steal_page(self, group):
+        group.n_evictable -= 1
+
+    def drop_index(self, pool, page_id):
+        pool._entry[page_id] = None
+
+
+class GroupAllocator:
+    def __init__(self):
+        self.n_used = 0
+
+
+def bump(group):
+    group.n_used += 1

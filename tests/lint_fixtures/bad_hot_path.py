@@ -1,0 +1,24 @@
+# jengalint: module=repro/core/two_level.py
+"""Fixture: O(n) scans inside a module declared hot (rule hot-path-scan)."""
+
+
+class Pool:
+    def __init__(self):
+        self._heap = []
+        self.pages = {}
+        self.queue = []
+
+    def take_front(self):
+        return self.queue.pop(0)
+
+    def contains(self, item):
+        return item in self._heap
+
+    def ordered(self):
+        return sorted(self.queue)
+
+    def ordered_in_place(self):
+        self.queue.sort()
+
+    def live_pages(self):
+        return [p for p in self.pages if p is not None]

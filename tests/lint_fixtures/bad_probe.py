@@ -1,0 +1,11 @@
+"""Fixture: duck-typed capability probe on a manager (rule duck-typed-probe)."""
+
+
+def maybe_drain(manager, request_id):
+    if hasattr(manager, "take_onload_bytes"):
+        return manager.take_onload_bytes(request_id)
+    return 0
+
+
+def peek(ctx):
+    return getattr(ctx.manager, "stats", None)

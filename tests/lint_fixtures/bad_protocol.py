@@ -1,0 +1,29 @@
+# jengalint: module=repro/core/protocols.py
+"""Fixture: registered manager missing a protocol method (rule protocol-conformance)."""
+from typing import Protocol
+
+
+def register_manager(name, kind="model"):
+    def deco(obj):
+        return obj
+    return deco
+
+
+class KVCacheManager(Protocol):
+    name: str
+
+    def begin_request(self, seq) -> int:
+        ...
+
+    def release(self, seq, cacheable=True) -> None:
+        ...
+
+
+@register_manager("broken")
+class BrokenManager:
+    name = "broken"
+
+    def begin_request(self, seq) -> int:
+        return 0
+
+    # release() is missing, and the registry would never notice.

@@ -1,0 +1,15 @@
+"""Fixture: event constructed without a subscriber guard (rule unguarded-emit)."""
+
+
+class PageEvicted:
+    def __init__(self, group_id, page_id):
+        self.group_id = group_id
+        self.page_id = page_id
+
+
+class Allocator:
+    def __init__(self, events):
+        self.events = events
+
+    def evict(self, group_id, page_id):
+        self.events.emit(PageEvicted(group_id, page_id))

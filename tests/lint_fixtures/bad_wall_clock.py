@@ -1,0 +1,16 @@
+# jengalint: module=repro/core/fresh_module.py
+"""Fixture: wall-clock sampling inside repro.core (rule wall-clock)."""
+import time
+from datetime import datetime
+
+
+def stamp(page):
+    page.last_access = time.time()
+
+
+def stamp_mono(page):
+    page.last_access = time.monotonic()
+
+
+def stamp_dt(page):
+    page.created_at = datetime.now()

@@ -1,0 +1,44 @@
+# jengalint: module=repro/core/two_level.py
+"""Fixture: near-miss patterns every rule must accept.
+
+Lives (virtually) in a hot module so the hot-path and wall-clock rules
+are active, yet contains no violation: guarded emits, owner-class counter
+mutation, audited slow helpers, dict membership, and a fixed attribute
+layout.
+"""
+
+
+class PageEvicted:
+    def __init__(self, group_id, page_id):
+        self.group_id = group_id
+        self.page_id = page_id
+
+
+class GroupAllocator:
+    def __init__(self, events):
+        self.events = events
+        self.n_used = 0
+        self.n_evictable = 0
+        self._priority = {}
+        self.queue = []
+
+    def bump_state(self, delta):
+        self.n_used += delta
+        self.n_evictable -= delta
+
+    def contains(self, item):
+        return item in self._priority
+
+    def evict(self, group_id, page_id):
+        if self.events is not None and self.events.has_subscribers(PageEvicted):
+            self.events.emit(PageEvicted(group_id, page_id))
+
+    def forward(self, event):
+        # Pre-built event objects carry no construction cost here.
+        self.events.emit(event)
+
+    def check_ordering(self):
+        assert sorted(self.queue) == self.queue
+
+    def stats_slow(self):
+        return [p for p in self._priority if p is not None]

@@ -84,6 +84,45 @@ class TestEventBus:
         bus.emit(RequestQueued("r2", 0.0))
         assert len(seen) == 2
 
+    def test_has_subscribers_true_while_ring_captures(self):
+        # A capturing bus has an implicit consumer (recent()/counts), so
+        # emit call sites must keep constructing events.
+        bus = EventBus()
+        assert bus.has_subscribers(PrefixHit)
+        assert bus.has_subscribers(RequestQueued)
+
+    def test_has_subscribers_pure_dispatch_tracks_interest(self):
+        bus = EventBus(capacity=0)
+        assert not bus.has_subscribers(PrefixHit)
+        seen = []
+        handler = bus.subscribe(seen.append, [PrefixHit])
+        assert bus.has_subscribers(PrefixHit)
+        assert not bus.has_subscribers(RequestQueued)
+        bus.unsubscribe(handler)
+        assert not bus.has_subscribers(PrefixHit)
+
+    def test_has_subscribers_unfiltered_subscriber_matches_all(self):
+        bus = EventBus(capacity=0)
+        bus.subscribe(lambda e: None)
+        assert bus.has_subscribers(PrefixHit)
+        assert bus.has_subscribers(StepCompleted)
+
+    def test_interest_cache_invalidated_by_late_subscribe(self):
+        bus = EventBus(capacity=0)
+        assert not bus.has_subscribers(PrefixHit)  # caches the negative
+        seen = []
+        bus.subscribe(seen.append, [PrefixHit])
+        assert bus.has_subscribers(PrefixHit)  # cache was cleared
+
+    def test_pure_dispatch_bus_skips_ring(self):
+        bus = EventBus(capacity=0)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit(RequestQueued("r1", 0.0))
+        assert len(bus) == 0 and not bus.recent()
+        assert len(seen) == 1
+        assert bus.counts["RequestQueued"] == 1
+
     def test_step_names(self):
         # 1-5 are the paper's five steps; 0 tags the request-aware
         # ablation's first-fit path.

@@ -110,3 +110,57 @@ class TestUpdatesAndRemoval:
         assert ev.evict() == "a"
         ev.add("a", 2.0)
         assert ev.evict() == "a"
+
+
+class TestHeapCompaction:
+    """Touch-heavy churn must not grow the lazy-deletion heap unboundedly."""
+
+    def test_heap_bounded_under_pure_touch_churn(self):
+        from repro.core.evictor import COMPACT_RATIO
+
+        ev = LRUEvictor()
+        live = 50
+        for i in range(live):
+            ev.add(i, float(i))
+        for step in range(5_000):
+            ev.add(step % live, float(live + step))
+            assert len(ev._heap) <= COMPACT_RATIO * live + 1
+        assert ev.num_compactions > 0
+        assert len(ev) == live
+
+    def test_eviction_order_survives_compaction(self):
+        ev = LRUEvictor()
+        for i in range(20):
+            ev.add(i, float(i))
+        # Touch everything but item 7 until several rebuilds have run.
+        now = 100.0
+        while ev.num_compactions < 3:
+            for i in range(20):
+                if i != 7:
+                    now += 1.0
+                    ev.add(i, now)
+        assert ev.evict() == 7
+        assert len(ev) == 19
+
+    def test_compaction_preserves_priority_updates(self):
+        ev = LRUEvictor()
+        ev.add("a", 1.0)
+        for _ in range(50):  # strand enough entries to force rebuilds
+            ev.add("b", 2.0)
+        ev.add("b", 0.5)  # final update: b now older than a
+        assert ev.evict() == "b"
+        assert ev.evict() == "a"
+
+    def test_no_compaction_when_evictions_drain_stale_tops(self):
+        # Stale entries carry older keys and sink to the heap top, where
+        # evict()'s stale-pop clears them; with eviction traffic the heap
+        # stays small without rebuilds.
+        ev = LRUEvictor()
+        for i in range(8):
+            ev.add(i, float(i))
+        for step in range(1_000):
+            ev.add(step % 8, 10.0 + step)
+            if step % 2:
+                victim = ev.evict()
+                ev.add(victim, 10.0 + step + 0.5)
+        assert len(ev) == 8
