@@ -70,8 +70,15 @@ def test_bench_allocator_smoke(benchmark):
         f"engine {eng['steps']} steps  {eng['steps_per_sec']:,.0f} steps/s  "
         f"p99 {eng['step_p99_ms']:.3f}ms"
     )
+    for name, row in eng.get("phases", {}).items():
+        lines.append(
+            f"phase  {name:<14} n={row['count']:>5}  "
+            f"p50 {row['p50_us']:>8.2f}us  p99 {row['p99_us']:>8.2f}us"
+        )
     save_result("bench_allocator", "\n".join(lines))
     assert payload["invariant_checkpoints"] > 0
+    # The traced engine run must attribute every step across the phases.
+    assert eng["phases"], "engine bench ran without phase attribution"
 
 
 if __name__ == "__main__":

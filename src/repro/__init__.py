@@ -62,11 +62,13 @@ from .engine import (
     profile_config,
 )
 from .models import ModelSpec, get_model, list_models
+from .obs import BusTelemetry, TelemetryRegistry, Tracer
 from .platforms import GPU, H100, L4, kv_budget
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BusTelemetry",
     "DualManager",
     "EngineMetrics",
     "EventBus",
@@ -89,6 +91,8 @@ __all__ = [
     "SchedulerConfig",
     "SequenceSpec",
     "SpecDecodeEngine",
+    "TelemetryRegistry",
+    "Tracer",
     "TwoLevelAllocator",
     "UnknownManagerError",
     "VAttentionManager",

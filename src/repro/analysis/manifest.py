@@ -23,6 +23,7 @@ __all__ = [
     "PROTOCOL_CLASS",
     "PROTOCOL_MODULE",
     "REGISTRY_DECORATOR",
+    "SPAN_METHODS",
 ]
 
 # -- rule: hot-path-scan ------------------------------------------------
@@ -90,6 +91,26 @@ EVENT_CLASSES: FrozenSet[str] = frozenset(
         "RequestFinished",
         "RequestFailed",
         "StepCompleted",
+    }
+)
+
+# -- rule: unguarded-span -----------------------------------------------
+
+#: Span primitives of :class:`repro.obs.tracer.Tracer`.  Each call does
+#: stack/deque work per invocation, so in hot modules every call on a
+#: ``tracer`` receiver must sit inside an ``if`` that tests the tracer's
+#: ``.enabled`` flag (the null fast path, mirroring the event bus's
+#: ``has_subscribers`` guard) -- a disabled tracer then costs one
+#: predicate per operation, not a method call.
+SPAN_METHODS: FrozenSet[str] = frozenset(
+    {
+        "begin_span",
+        "end_span",
+        "span",
+        "instant",
+        "counter",
+        "step_begin",
+        "step_end",
     }
 )
 

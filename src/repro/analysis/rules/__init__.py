@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import List, Type
 
 from ..engine import Rule
-from .event_bus import UnguardedEmitRule
+from .event_bus import UnguardedEmitRule, UnguardedSpanRule
 from .hot_path import HotPathScanRule
 from .probes import DuckTypedProbeRule
 from .protocol import ProtocolConformanceRule
@@ -19,12 +19,14 @@ __all__ = [
     "HotPathScanRule",
     "ProtocolConformanceRule",
     "UnguardedEmitRule",
+    "UnguardedSpanRule",
     "WallClockRule",
 ]
 
 ALL_RULES: List[Type[Rule]] = [
     HotPathScanRule,
     UnguardedEmitRule,
+    UnguardedSpanRule,
     ProtocolConformanceRule,
     DuckTypedProbeRule,
     GuardedCounterRule,

@@ -48,6 +48,12 @@ class DualManager(KVCacheManagerBase):
         for manager in self.managers:
             manager.bind_events(events)
 
+    def bind_tracer(self, tracer) -> None:
+        """Adopt ``tracer`` on the composite and every sub-manager."""
+        self.tracer = tracer
+        for manager in self.managers:
+            manager.bind_tracer(tracer)
+
     # -- lifecycle -------------------------------------------------------
 
     def begin_request(self, seq: SequenceSpec) -> int:

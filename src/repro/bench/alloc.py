@@ -30,6 +30,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..core.layer_policy import FULL_ATTENTION, SLIDING_WINDOW, GroupSpec, make_policy
+from ..core.math_utils import percentile
 from ..core.sequence import TEXT
 from ..core.two_level import TwoLevelAllocator
 from ..engine.request import Request
@@ -73,12 +74,10 @@ def _make_allocator(num_large: int) -> TwoLevelAllocator:
 
 def _percentiles(latencies_s: List[float]) -> Dict[str, float]:
     """p50/p99 in microseconds from a list of per-op seconds."""
-    if not latencies_s:
-        return {"p50_us": 0.0, "p99_us": 0.0}
-    ordered = sorted(latencies_s)
-    p50 = ordered[len(ordered) // 2]
-    p99 = ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)]
-    return {"p50_us": p50 * 1e6, "p99_us": p99 * 1e6}
+    return {
+        "p50_us": percentile(latencies_s, 0.50) * 1e6,
+        "p99_us": percentile(latencies_s, 0.99) * 1e6,
+    }
 
 
 def _assert_stats_equal(alloc: TwoLevelAllocator) -> None:
@@ -237,12 +236,23 @@ def queue_bench(depth: int, num_ops: int, seed: int = 0) -> Dict:
     }
 
 
-def engine_bench(num_requests: int, seed: int = 0, max_steps: int = 50_000) -> Dict:
-    """Full synthetic serving run under memory pressure."""
+def engine_bench(
+    num_requests: int, seed: int = 0, max_steps: int = 50_000, traced: bool = True
+) -> Dict:
+    """Full synthetic serving run under memory pressure.
+
+    With ``traced`` (the default) the engine carries an enabled
+    :class:`~repro.obs.tracer.Tracer` and the result gains a ``phases``
+    table: per-step exclusive wall time of the ``schedule`` / ``allocate``
+    / ``commit`` / ``release`` phases (count, total, p50, p99), the
+    breakdown that tells *which* part of a step regressed when
+    ``step_p50_ms`` moves.
+    """
     # Imported lazily: the engine pulls in the whole stack and the churn
     # benchmarks should stay importable in isolation.
     from ..core.registry import create_manager
     from ..engine.engine import LLMEngine
+    from ..obs.tracer import Tracer
     from ..workloads import sharegpt
 
     model = get_model("gemma2-9b")
@@ -251,24 +261,32 @@ def engine_bench(num_requests: int, seed: int = 0, max_steps: int = 50_000) -> D
     kv_bytes = kv_budget(model, L4).kv_bytes // 4
     manager = create_manager("jenga", "model", model, kv_bytes,
                              enable_prefix_caching=True)
-    engine = LLMEngine(model, L4, manager, config=profile_config("vllm"))
+    tracer = Tracer() if traced else None
+    engine = LLMEngine(
+        model, L4, manager, config=profile_config("vllm"), tracer=tracer
+    )
     engine.add_requests(sharegpt(num_requests, seed=seed))
 
     step_lat: List[float] = []
+    phase_lat: Dict[str, List[float]] = {}
     while len(step_lat) < max_steps:
         t0 = time.perf_counter()
         record = engine.step()
         if record is None:
             break
         step_lat.append(time.perf_counter() - t0)
+        if record.phases:
+            for name, seconds in record.phases.items():
+                phase_lat.setdefault(name, []).append(seconds)
 
     _assert_stats_equal(manager.allocator)
     manager.allocator.check_invariants()
     metrics = engine.metrics()
+    engine.close()
     total_tokens = sum(r.prompt_len + r.output_len for r in metrics.requests)
     wall = max(sum(step_lat), 1e-12)
     pcts = _percentiles(step_lat)
-    return {
+    result = {
         "model": model.name,
         "requests": num_requests,
         "finished": len(metrics.requests),
@@ -279,6 +297,16 @@ def engine_bench(num_requests: int, seed: int = 0, max_steps: int = 50_000) -> D
         "step_p50_ms": pcts["p50_us"] / 1e3,
         "step_p99_ms": pcts["p99_us"] / 1e3,
     }
+    if traced:
+        result["phases"] = {
+            name: {
+                "count": len(series),
+                "total_ms": sum(series) * 1e3,
+                **_percentiles(series),
+            }
+            for name, series in sorted(phase_lat.items())
+        }
+    return result
 
 
 _FULL_SCALE = {
@@ -355,6 +383,9 @@ def run_benchmark(
     engine = engine_bench(knobs["engine_requests"], seed=seed)
     say(f"    {engine['steps']} steps at {engine['steps_per_sec']:,.0f} steps/s  "
         f"step p50 {engine['step_p50_ms']:.3f}ms  p99 {engine['step_p99_ms']:.3f}ms")
+    for name, row in engine.get("phases", {}).items():
+        say(f"    phase {name:<14} p50 {row['p50_us']:8.2f}us  "
+            f"p99 {row['p99_us']:8.2f}us  total {row['total_ms']:.1f}ms")
 
     payload = {
         "benchmark": "alloc",

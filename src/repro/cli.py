@@ -180,6 +180,65 @@ def cmd_specdecode(args) -> int:
     return 0
 
 
+def _traced_run(args):
+    """Run one traced engine workload; return ``(tracer, registry, metrics)``.
+
+    Shared by ``trace`` and ``report``: an :class:`~repro.core.events.EventBus`
+    in pure-dispatch mode (no ring retention -- the telemetry subscriber and
+    the metrics collector consume events as they happen), a memory-recording
+    scheduler profile so the simulated-clock timelines are populated, and an
+    enabled :class:`~repro.obs.tracer.Tracer` on the engine.
+    """
+    from .core.events import EventBus
+    from .obs import BusTelemetry, Tracer
+
+    model = get_model(args.model, quantized=args.fp8)
+    gpu = GPUS[args.gpu]
+    kv = int(args.kv_gib * GIB) if args.kv_gib else kv_budget(model, gpu).kv_bytes
+    requests = build_workload(args.workload, args.requests, model, args.seed)
+    events = EventBus(capacity=0)
+    telemetry = BusTelemetry(events)
+    tracer = Tracer()
+    manager = make_manager(args.system, model, kv)
+    engine = LLMEngine(
+        model, gpu, manager,
+        config=profile_config("vllm", record_memory=True),
+        events=events, tracer=tracer,
+    )
+    engine.add_requests(requests)
+    metrics = engine.run(max_steps=args.max_steps)
+    engine.close()
+    telemetry.close()
+    return tracer, telemetry.registry, metrics
+
+
+def cmd_trace(args) -> int:
+    from .obs import write_chrome_trace
+
+    tracer, registry, metrics = _traced_run(args)
+    payload = write_chrome_trace(args.output, tracer, registry)
+    num_events = len(payload["traceEvents"])
+    print(
+        f"wrote {args.output}: {num_events} trace events over "
+        f"{len(metrics.steps)} engine steps "
+        f"(load in Perfetto / chrome://tracing)"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    import json as _json
+
+    from .obs import render_report, report_payload
+
+    _, registry, metrics = _traced_run(args)
+    if args.json:
+        print(_json.dumps(report_payload(registry, metrics), indent=2))
+    else:
+        print(render_report(registry, metrics))
+    return 0
+
+
 def cmd_bench_alloc(args) -> int:
     from .bench.alloc import run_benchmark
 
@@ -254,6 +313,27 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=4)
     p.add_argument("--acceptance", type=float, default=0.7)
     p.set_defaults(func=cmd_specdecode)
+
+    p = sub.add_parser(
+        "trace",
+        help="traced engine run -> Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    common(p)
+    p.add_argument("--system", default="jenga",
+                   help="manager name (see `models`/registry)")
+    p.add_argument("--output", default="trace.json",
+                   help="Chrome trace-event JSON path")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "report",
+        help="traced engine run -> telemetry summary (counters/histograms)",
+    )
+    common(p)
+    p.add_argument("--system", default="jenga")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of text")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "bench-alloc",

@@ -267,9 +267,14 @@ class EventBus:
         return handler
 
     def unsubscribe(self, handler: _Handler) -> bool:
-        """Remove every subscription of ``handler``; return whether any existed."""
+        """Remove every subscription of ``handler``; return whether any existed.
+
+        Matches by equality, not identity: ``obj.method`` builds a fresh
+        bound-method object on every attribute access, so an identity test
+        would never match the object stored at subscribe time.
+        """
         before = len(self._subscribers)
-        self._subscribers = [(t, h) for t, h in self._subscribers if h is not handler]
+        self._subscribers = [(t, h) for t, h in self._subscribers if h != handler]
         self._interest.clear()
         return len(self._subscribers) < before
 

@@ -10,7 +10,7 @@ per lookup and :class:`~repro.core.events.PageEvictedToHost` per spill.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .events import EventBus, PageEvictedToHost, PrefixHit
 from .kv_binding import BindingTableMixin, GroupBinding
@@ -39,6 +39,7 @@ class PrefixCacheMixin(BindingTableMixin):
     host_pool: Optional[HostMemoryPool]
     lookup_tokens: int
     hit_tokens: int
+    tracer: Optional[Any]
     _pending_onload_bytes: Dict[str, int]
 
     def begin_request(self, seq: SequenceSpec) -> int:
@@ -47,7 +48,10 @@ class PrefixCacheMixin(BindingTableMixin):
         Returns the number of leading *global* tokens whose cache is already
         resident (0 when prefix caching is disabled or nothing matches).
         The engine must still compute at least one token, so the hit is
-        capped at ``len(seq) - 1``.
+        capped at ``len(seq) - 1``.  When the composing manager carries an
+        enabled tracer, the hash-chain lookup and page acquisition are
+        wrapped in a ``prefix_lookup`` span (nested under the engine's
+        ``schedule`` phase).
         """
         if seq.request_id in self._bindings:
             raise ValueError(f"request {seq.request_id!r} already active")
@@ -55,7 +59,18 @@ class PrefixCacheMixin(BindingTableMixin):
         self._bindings[seq.request_id] = bindings
         if not self.enable_prefix_caching:
             return 0
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "prefix_lookup", cat="kv", args={"request": seq.request_id}
+            ):
+                return self._lookup_and_acquire(seq, bindings)
+        return self._lookup_and_acquire(seq, bindings)
 
+    def _lookup_and_acquire(
+        self, seq: SequenceSpec, bindings: Dict[str, GroupBinding]
+    ) -> int:
+        """Hash-chain lookup plus cached-page acquisition (the hit path)."""
         all_hashes: Dict[str, List[int]] = {}
         valid: Dict[str, List[int]] = {}
         for group_id in self.specs:

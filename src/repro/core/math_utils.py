@@ -31,7 +31,27 @@ __all__ = [
     "compatible_page_bytes",
     "lcm_blowup",
     "tokens_per_page_for_max",
+    "percentile",
 ]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the ``ceil(q * n)``-th smallest value.
+
+    The one percentile definition shared by metrics aggregation and the
+    benchmarks.  The naive ``int(q * n)`` index is biased a full rank high
+    (``p99`` of 100 samples returns the *maximum* instead of the 99th
+    value, and ``p50`` of an even-length list returns the upper median);
+    nearest-rank ``ceil(q * n) - 1`` is the standard unbiased choice.
+    Returns 0.0 for an empty sequence; ``q`` must lie in ``[0, 1]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    n = len(values)
+    if n == 0:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[max(0, min(n - 1, math.ceil(q * n) - 1))]
 
 
 def lcm_of(sizes: Iterable[int]) -> int:

@@ -25,7 +25,7 @@ scheduler's capacity probes and ``stats`` the memory snapshot.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
 
 from .events import EventBus
 from .sequence import SequenceSpec
@@ -99,6 +99,16 @@ class KVCacheManager(Protocol):
         """Adopt ``events`` as this manager's bus (propagating downward)."""
         ...
 
+    def bind_tracer(self, tracer: Any) -> None:
+        """Adopt ``tracer`` for span emission (may be ``None`` / disabled).
+
+        Typed ``Any`` rather than :class:`~repro.obs.tracer.Tracer` so the
+        core layer never imports the observability layer; managers only
+        touch ``tracer.enabled`` and the span primitives behind the guarded
+        fast-path idiom, so any object with that surface works.
+        """
+        ...
+
     # -- engine-facing properties ---------------------------------------
 
     @property
@@ -131,9 +141,13 @@ class KVCacheManagerBase:
 
     def __init__(self, events: Optional[EventBus] = None) -> None:
         self.events: EventBus = events if events is not None else EventBus()
+        self.tracer: Optional[Any] = None
 
     def bind_events(self, events: EventBus) -> None:
         self.events = events
+
+    def bind_tracer(self, tracer: Any) -> None:
+        self.tracer = tracer
 
     # -- required lifecycle (abstract) ----------------------------------
 

@@ -11,7 +11,7 @@ model's step time.  The *only* component swapped between "vLLM" and
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import (
     EventBus,
@@ -23,6 +23,7 @@ from ..core.events import (
 )
 from ..engine.cost_model import CostModel, StepWork
 from ..models.config import ModelSpec
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..platforms.gpu import GPU
 from .metrics import (
     EngineMetrics,
@@ -54,6 +55,12 @@ class LLMEngine:
             one bus per instance (so per-engine metrics stay exact even
             when managers share an allocator) and rebinds the manager onto
             it; pass a bus explicitly to share it across components.
+        tracer: Span tracer for wall-clock step profiling.  Defaults to
+            the inert :data:`~repro.obs.tracer.NULL_TRACER`; pass an
+            enabled :class:`~repro.obs.tracer.Tracer` to split each step
+            into schedule / allocate / commit / release phase spans
+            (recorded on :class:`StepRecord.phases`) and to export a
+            Chrome/Perfetto trace via :mod:`repro.obs.export`.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class LLMEngine:
         config: Optional[SchedulerConfig] = None,
         cost_model: Optional[CostModel] = None,
         events: Optional[EventBus] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.model = model
         self.gpu = gpu
@@ -73,10 +81,12 @@ class LLMEngine:
             model, gpu, kernel_slowdown=manager.kernel_slowdown
         )
         self.events = events if events is not None else EventBus()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         manager.bind_events(self.events)
+        manager.bind_tracer(self.tracer)
         self.collector = MetricsCollector(self.events)
         self.clock = 0.0
-        self.waiting = WaitingQueue(events=self.events)
+        self.waiting = WaitingQueue(events=self.events, tracer=self.tracer)
         self.running: List[Request] = []
         self.finished: List[RequestMetrics] = []
         self.failed: List[Request] = []
@@ -115,6 +125,15 @@ class LLMEngine:
                 break
         return self.metrics()
 
+    def close(self) -> None:
+        """Detach this engine's bus subscriptions (idempotent).
+
+        Call when the engine is done and its bus outlives it (shared or
+        reused buses would otherwise keep feeding the dead collector).
+        :meth:`metrics` stays valid after closing.
+        """
+        self.collector.close()
+
     def metrics(self) -> EngineMetrics:
         return EngineMetrics(
             steps=list(self.steps),
@@ -131,17 +150,28 @@ class LLMEngine:
 
     def step(self) -> Optional[StepRecord]:
         """Execute one engine step; returns ``None`` when fully idle."""
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.step_begin(self._step_index)
+            tracer.begin_span("schedule")
         now = self.clock
         work = StepWork()
         self._admit(now, work)
         if not self.running:
             next_arrival = self.waiting.next_arrival()
             if next_arrival is None:
+                if tracing:
+                    tracer.end_span()
+                    tracer.step_end()
                 return None
             self.clock = now = max(now, next_arrival)
             work = StepWork()
             self._admit(now, work)
             if not self.running:
+                if tracing:
+                    tracer.end_span()
+                    tracer.step_end()
                 return None
 
         scheduled: List[Tuple[Request, int]] = []
@@ -205,12 +235,20 @@ class LLMEngine:
             work.kv_write_bytes += n * self.cost.write_bytes_per_token()
             self._charge_reencode(request, work)
 
+        if tracing:
+            tracer.end_span()  # schedule
         duration = self.cost.step_time(work)
         end = now + duration
         self.clock = end
 
+        if tracing:
+            tracer.begin_span("commit")
         for request, n in scheduled:
             self._finalize(request, n, end)
+        phases: Optional[Dict[str, float]] = None
+        if tracing:
+            tracer.end_span()  # commit
+            phases = tracer.step_end()
 
         record = StepRecord(
             index=self._step_index,
@@ -222,6 +260,7 @@ class LLMEngine:
             num_waiting=len(self.waiting),
             num_preemptions=step_preemptions,
             memory=self._memory_snapshot() if self.config.record_memory else None,
+            phases=phases,
         )
         return self._complete_step(record)
 
@@ -238,6 +277,11 @@ class LLMEngine:
             self._admission_cooldown = self._PREEMPTION_COOLDOWN_STEPS
         elif self._admission_cooldown:
             self._admission_cooldown -= 1
+        tracer = self.tracer
+        if tracer.enabled:
+            # Perfetto counter tracks alongside the phase spans.
+            tracer.counter("engine/running", record.num_running)
+            tracer.counter("engine/waiting", record.num_waiting)
         if self.events.has_subscribers(StepCompleted):
             self.events.emit(StepCompleted(
                 record.index,
@@ -336,9 +380,15 @@ class LLMEngine:
         and retry; as a last resort preempt ``request`` itself.  Returns
         ``(success, num_preemptions)``.
         """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.begin_span("allocate")
         preemptions = 0
         while True:
             if self.manager.allocate_up_to(request.seq, target):
+                if tracing:
+                    tracer.end_span()
                 return True, preemptions
             victim = self._pick_victim(exclude=scheduled_set, not_this=request)
             if victim is None:
@@ -349,6 +399,8 @@ class LLMEngine:
                 else:
                     self._preempt(request, reason="self")
                 preemptions += 1
+                if tracing:
+                    tracer.end_span()
                 return False, preemptions
             self._preempt(victim)
             preemptions += 1
@@ -360,19 +412,31 @@ class LLMEngine:
         return None
 
     def _preempt(self, victim: Request, reason: str = "victim") -> None:
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.begin_span("release", args={"request": victim.request_id})
         self.manager.release(victim.seq, cacheable=True)
         victim.reset_for_recompute()
         self.running.remove(victim)
+        if tracing:
+            tracer.end_span()
         if self.events.has_subscribers(RequestPreempted):
             self.events.emit(RequestPreempted(victim.request_id, self.clock, reason=reason))
         self.waiting.push(victim)
 
     def _fail(self, request: Request) -> None:
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.begin_span("release", args={"request": request.request_id})
         self.manager.release(request.seq, cacheable=False)
         request.state = RequestState.FINISHED
         if request in self.running:
             self.running.remove(request)
         self.failed.append(request)
+        if tracing:
+            tracer.end_span()
         if self.events.has_subscribers(RequestFailed):
             self.events.emit(RequestFailed(request.request_id, self.clock))
 
@@ -402,8 +466,14 @@ class LLMEngine:
     def _finish(self, request: Request, end: float) -> None:
         request.state = RequestState.FINISHED
         request.finish_time = end
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.begin_span("release", args={"request": request.request_id})
         self.manager.release(request.seq, cacheable=True)
         self.running.remove(request)
+        if tracing:
+            tracer.end_span()
         if self.events.has_subscribers(RequestFinished):
             self.events.emit(RequestFinished(request.request_id, end))
         self.finished.append(

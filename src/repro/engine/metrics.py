@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.events import Event, EventBus, PrefixHit, RequestPreempted, StepCompleted
+from ..core.math_utils import percentile as _percentile
 
 __all__ = [
     "StepRecord",
@@ -38,7 +39,15 @@ class MemorySnapshot:
 
 @dataclass(frozen=True)
 class StepRecord:
-    """One engine step."""
+    """One engine step.
+
+    ``start_time``/``duration`` are *simulated* seconds from the cost
+    model.  ``phases`` is only populated when the engine runs with a
+    :class:`~repro.obs.tracer.Tracer` attached: exclusive *wall-clock*
+    seconds per step phase (``schedule`` / ``allocate`` / ``commit`` /
+    ``release``, plus any nested spans such as ``prefix_lookup``), whose
+    values sum to at most the step's wall duration.
+    """
 
     index: int
     start_time: float
@@ -49,6 +58,7 @@ class StepRecord:
     num_waiting: int
     num_preemptions: int
     memory: Optional[MemorySnapshot] = None
+    phases: Optional[Dict[str, float]] = None
 
 
 @dataclass(frozen=True)
@@ -100,7 +110,19 @@ class MetricsCollector:
         self.preemptions = 0
         self.prefix_hit_tokens = 0
         self.prefix_lookup_tokens = 0
+        self._closed = False
         events.subscribe(self._on_event, [StepCompleted, RequestPreempted, PrefixHit])
+
+    def close(self) -> None:
+        """Unsubscribe from the bus (idempotent).
+
+        Collected state stays readable afterwards.  Without this, every
+        engine run against a shared/reused bus leaks one dead handler
+        that keeps counting other engines' events.
+        """
+        if not self._closed:
+            self.events.unsubscribe(self._on_event)
+            self._closed = True
 
     def _on_event(self, event: Event) -> None:
         if isinstance(event, StepCompleted):
@@ -184,11 +206,3 @@ class EngineMetrics:
 
 def _mean(values: List[float]) -> float:
     return sum(values) / len(values) if values else 0.0
-
-
-def _percentile(values: List[float], q: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    idx = min(len(ordered) - 1, int(q * len(ordered)))
-    return ordered[idx]

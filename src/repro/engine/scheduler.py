@@ -95,13 +95,19 @@ class WaitingQueue:
 
     When built with an event bus, every push publishes a
     :class:`~repro.core.events.RequestQueued` record (both fresh arrivals
-    and preempted requests re-entering the queue).
+    and preempted requests re-entering the queue).  When built with an
+    enabled :class:`~repro.obs.tracer.Tracer`, every push also drops a
+    ``queue/push`` instant (with the post-push depth) onto the trace so
+    queue growth is visible on the Perfetto timeline; both hooks follow
+    the guarded fast-path idiom, so a queue without consumers pays only a
+    predicate per push.
     """
 
-    def __init__(self, events: Optional[EventBus] = None) -> None:
+    def __init__(self, events: Optional[EventBus] = None, tracer=None) -> None:
         self._heap: List[Tuple[float, int, int, Request]] = []
         self._seq = itertools.count()
         self.events = events
+        self.tracer = tracer
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -117,6 +123,10 @@ class WaitingQueue:
         )
         if self.events is not None and self.events.has_subscribers(RequestQueued):
             self.events.emit(RequestQueued(request.request_id, request.arrival_time))
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant(
+                "queue/push", cat="scheduler", args={"depth": len(self._heap)}
+            )
 
     def peek_ready(self, now: float) -> Optional[Request]:
         if self._heap and self._heap[0][0] <= now:

@@ -152,16 +152,27 @@ class SpecDecodeEngine(LLMEngine):
         return accepted
 
     def step(self) -> Optional[StepRecord]:
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.step_begin(self._step_index)
+            tracer.begin_span("schedule")
         now = self.clock
         work_unused = StepWork()
         self._admit(now, work_unused)
         if not self.running:
             next_arrival = self.waiting.next_arrival()
             if next_arrival is None:
+                if tracing:
+                    tracer.end_span()
+                    tracer.step_end()
                 return None
             self.clock = now = max(now, next_arrival)
             self._admit(now, work_unused)
             if not self.running:
+                if tracing:
+                    tracer.end_span()
+                    tracer.step_end()
                 return None
 
         draft_work = StepWork()
@@ -247,6 +258,8 @@ class SpecDecodeEngine(LLMEngine):
                 work.kv_read_bytes += read
                 work.kv_write_bytes += n * cost.write_bytes_per_token()
 
+        if tracing:
+            tracer.end_span()  # schedule
         # The draft's k passes happen sequentially, then one target pass.
         duration = 0.0
         if draft_work.total_tokens:
@@ -266,11 +279,17 @@ class SpecDecodeEngine(LLMEngine):
         end = now + duration
         self.clock = end
 
+        if tracing:
+            tracer.begin_span("commit")
         for request, n, is_decode in scheduled:
             if is_decode:
                 self._finalize_spec_decode(request, n, end)
             else:
                 self._finalize(request, n, end)
+        phases = None
+        if tracing:
+            tracer.end_span()  # commit
+            phases = tracer.step_end()
 
         record = StepRecord(
             index=self._step_index,
@@ -282,6 +301,7 @@ class SpecDecodeEngine(LLMEngine):
             num_waiting=len(self.waiting),
             num_preemptions=step_preemptions,
             memory=self._memory_snapshot() if self.config.record_memory else None,
+            phases=phases,
         )
         return self._complete_step(record)
 

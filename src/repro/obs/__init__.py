@@ -1,0 +1,42 @@
+"""Observability: span tracing, telemetry aggregation, trace export.
+
+The subsystem closes the ROADMAP's "engine-step profiling hooks" item:
+
+* :mod:`repro.obs.tracer` -- a span-based :class:`Tracer` with a
+  zero-overhead null fast path; the engine splits each step into
+  ``schedule`` / ``allocate`` / ``commit`` / ``release`` phase spans and
+  stamps the exclusive per-phase wall time onto
+  :class:`~repro.engine.metrics.StepRecord`.
+* :mod:`repro.obs.registry` -- :class:`TelemetryRegistry` (counters,
+  gauges, fixed-bucket histograms, bounded timelines) fed from the
+  allocation-event bus by :class:`BusTelemetry`.
+* :mod:`repro.obs.export` -- Chrome trace-event JSON (open it at
+  https://ui.perfetto.dev) and plain-text/JSON summary reports, surfaced
+  as ``repro.cli trace`` / ``repro.cli report`` and inside
+  ``BENCH_alloc.json``'s per-phase breakdown.
+"""
+
+from .export import (
+    chrome_trace,
+    render_report,
+    report_payload,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .registry import LATENCY_BUCKETS_S, BusTelemetry, Histogram, TelemetryRegistry
+from .tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "BusTelemetry",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "TelemetryRegistry",
+    "chrome_trace",
+    "render_report",
+    "report_payload",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

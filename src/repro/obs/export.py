@@ -1,0 +1,268 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and summary reports.
+
+Two human-facing surfaces for the observability subsystem:
+
+* :func:`chrome_trace` serializes a :class:`~repro.obs.tracer.Tracer` (and
+  optionally a registry's memory timeline) into the Chrome trace-event
+  JSON-object format, loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev.  Wall-clock spans live on pid 0
+  ("repro-engine (wall clock)"); the simulated-clock memory counters live
+  on pid 1 so the two time bases are never overlaid on one track.
+* :func:`render_report` formats a :class:`TelemetryRegistry` (plus
+  optional :class:`~repro.engine.metrics.EngineMetrics`) as a plain-text
+  summary; :func:`report_payload` is the JSON twin.
+
+:func:`validate_chrome_trace` is the schema check CI and the test suite
+run against every exported trace: a trace that fails it would not load in
+Perfetto, so exporting one is a bug, not a formatting nit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from .registry import TelemetryRegistry
+from .tracer import Tracer
+
+if TYPE_CHECKING:  # engine types are display-only inputs here
+    from ..engine.metrics import EngineMetrics
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "render_report",
+    "report_payload",
+]
+
+_WALL_PID = 0
+_SIM_PID = 1
+
+#: Chrome trace-event phases this exporter may produce.
+_KNOWN_PHASES = frozenset({"X", "i", "C", "M"})
+
+
+def _meta(pid: int, name: str) -> Dict[str, Any]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def chrome_trace(
+    tracer: Tracer, registry: Optional[TelemetryRegistry] = None
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for ``tracer``.
+
+    Span/instant timestamps are the tracer's wall clock in microseconds.
+    When ``registry`` is given, its ``mem/*`` timelines (recorded on the
+    simulated clock) are appended as counter tracks on a second process.
+    """
+    events: List[Dict[str, Any]] = [_meta(_WALL_PID, "repro-engine (wall clock)")]
+    for span in tracer.spans:
+        ts = span.start * 1e6
+        if span.kind == "X":
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": ts,
+                "dur": span.duration * 1e6,
+                "pid": _WALL_PID,
+                "tid": 0,
+            }
+            if span.args:
+                event["args"] = dict(span.args)
+        elif span.kind == "i":
+            event = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "i",
+                "ts": ts,
+                "s": "t",
+                "pid": _WALL_PID,
+                "tid": 0,
+            }
+            if span.args:
+                event["args"] = dict(span.args)
+        elif span.kind == "C":
+            event = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "C",
+                "ts": ts,
+                "pid": _WALL_PID,
+                "tid": 0,
+                "args": dict(span.args or {"value": 0.0}),
+            }
+        else:  # never emitted by Tracer; fail loudly rather than corrupt
+            raise ValueError(f"unknown span kind {span.kind!r}")
+        events.append(event)
+
+    if registry is not None:
+        mem_series = {
+            name: series
+            for name, series in registry.timelines.items()
+            if name.startswith("mem/")
+        }
+        if mem_series:
+            events.append(_meta(_SIM_PID, "memory (simulated clock)"))
+            for name, series in sorted(mem_series.items()):
+                for t, value in series.points:
+                    events.append(
+                        {
+                            "name": name,
+                            "cat": "memory",
+                            "ph": "C",
+                            "ts": t * 1e6,
+                            "pid": _SIM_PID,
+                            "tid": 0,
+                            "args": {"value": value},
+                        }
+                    )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: Any) -> int:
+    """Check ``payload`` against the trace-event schema; return event count.
+
+    Raises :class:`ValueError` on the first violation.  Accepts exactly
+    what :func:`chrome_trace` produces (the JSON-object format with a
+    ``traceEvents`` list of ``M``/``X``/``i``/``C`` events).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(payload).__name__}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace lacks a 'traceEvents' list")
+    for idx, event in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            raise ValueError(f"{where}: bad ph {ph!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int) or not isinstance(event.get("tid"), int):
+            raise ValueError(f"{where}: missing pid/tid")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: bad dur {dur!r}")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"{where}: counter event needs args")
+    # The exporter's output must also survive a JSON round-trip.
+    json.loads(json.dumps(payload))
+    return len(events)
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, registry: Optional[TelemetryRegistry] = None
+) -> Dict[str, Any]:
+    """Validate and write the trace JSON to ``path``; return the payload."""
+    payload = chrome_trace(tracer, registry)
+    validate_chrome_trace(payload)
+    with open(path, "w") as f:
+        json.dump(payload, f)
+        f.write("\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Summary report
+# ----------------------------------------------------------------------
+
+_MIB = 1024 * 1024
+
+
+def _fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:,.1f}us"
+
+
+def report_payload(
+    registry: TelemetryRegistry, metrics: Optional["EngineMetrics"] = None
+) -> Dict[str, Any]:
+    """JSON-ready report: registry snapshot plus headline engine numbers."""
+    payload: Dict[str, Any] = {"telemetry": registry.snapshot()}
+    if metrics is not None:
+        payload["engine"] = {
+            "makespan_s": metrics.makespan,
+            "requests_finished": len(metrics.requests),
+            "token_throughput": metrics.token_throughput(),
+            "mean_ttft_s": metrics.mean_ttft(),
+            "mean_tpot_s": metrics.mean_tpot(),
+            "mean_decode_batch": metrics.mean_decode_batch(),
+            "preemptions": metrics.preemptions,
+            "prefix_hit_rate": metrics.prefix_hit_rate,
+        }
+    return payload
+
+
+def render_report(
+    registry: TelemetryRegistry, metrics: Optional["EngineMetrics"] = None
+) -> str:
+    """Human-readable summary of a telemetry registry."""
+    lines: List[str] = ["== telemetry report =="]
+
+    if metrics is not None:
+        lines.append("-- engine --")
+        lines.append(
+            f"finished {len(metrics.requests)} requests over "
+            f"{metrics.makespan:.2f} simulated s; "
+            f"{metrics.token_throughput():,.0f} tok/s, "
+            f"decode batch {metrics.mean_decode_batch():.2f}, "
+            f"{metrics.preemptions} preemptions, "
+            f"prefix hit rate {metrics.prefix_hit_rate:.3f}"
+        )
+
+    if registry.counters:
+        lines.append("-- counters --")
+        for name, value in sorted(registry.counters.items()):
+            lines.append(f"{name:<28} {value:>14,}")
+
+    histograms = registry.histograms
+    if histograms:
+        lines.append("-- histograms --")
+        for name, hist in sorted(histograms.items()):
+            if not hist.count:
+                continue
+            lines.append(
+                f"{name:<28} n={hist.count:<8} mean={_fmt_us(hist.mean):>12} "
+                f"p50={_fmt_us(hist.percentile(0.5)):>12} "
+                f"p99={_fmt_us(hist.percentile(0.99)):>12} "
+                f"max={_fmt_us(hist.vmax):>12}"
+            )
+
+    timelines = registry.timelines
+    if timelines:
+        lines.append("-- timelines --")
+        for name, series in sorted(timelines.items()):
+            last = series.last
+            if last is None:
+                continue
+            t, value = last
+            shown = f"{value / _MIB:,.1f} MiB" if name.startswith("mem/") else f"{value:,.1f}"
+            lines.append(
+                f"{name:<28} {len(series.points)} pts "
+                f"(stride {series.stride}), last {shown} @ t={t:.2f}s"
+            )
+
+    if registry.gauges:
+        lines.append("-- gauges --")
+        for name, value in sorted(registry.gauges.items()):
+            shown = f"{value / _MIB:,.1f} MiB" if name.startswith("mem/") else f"{value:,.3f}"
+            lines.append(f"{name:<28} {shown:>14}")
+
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+# jengalint: module=repro/engine/scheduler.py
+"""Fixture: span primitive without the `.enabled` guard (rule unguarded-span)."""
+
+
+class WaitingQueue:
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self._heap = {}
+
+    def push(self, request):
+        self._heap[request.request_id] = request
+        self.tracer.instant("queue/push", args={"depth": len(self._heap)})

@@ -2,9 +2,9 @@
 """Fixture: near-miss patterns every rule must accept.
 
 Lives (virtually) in a hot module so the hot-path and wall-clock rules
-are active, yet contains no violation: guarded emits, owner-class counter
-mutation, audited slow helpers, dict membership, and a fixed attribute
-layout.
+are active, yet contains no violation: guarded emits, guarded tracer
+spans, owner-class counter mutation, audited slow helpers, dict
+membership, and a fixed attribute layout.
 """
 
 
@@ -14,9 +14,16 @@ class PageEvicted:
         self.page_id = page_id
 
 
+class Meter:
+    def counter(self, name, value):
+        return None
+
+
 class GroupAllocator:
     def __init__(self, events):
         self.events = events
+        self.tracer = None
+        self.meter = Meter()
         self.n_used = 0
         self.n_evictable = 0
         self._priority = {}
@@ -32,6 +39,10 @@ class GroupAllocator:
     def evict(self, group_id, page_id):
         if self.events is not None and self.events.has_subscribers(PageEvicted):
             self.events.emit(PageEvicted(group_id, page_id))
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant("evict", args={"group": group_id})
+        # Span-method *names* on a non-tracer receiver are not spans.
+        self.meter.counter("evictions", 1)
 
     def forward(self, event):
         # Pre-built event objects carry no construction cost here.

@@ -54,6 +54,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "vllm-manual" in out
 
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "trace", "--model", "llama3-8b", "--workload", "sharegpt",
+            "--requests", "4", "--kv-gib", "2", "--output", str(out_path),
+        ]) == 0
+        assert "trace events" in capsys.readouterr().out
+        with open(out_path) as f:
+            payload = json.load(f)
+        assert validate_chrome_trace(payload) > 0
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"step", "schedule", "allocate", "commit"} <= names
+        # Simulated-clock memory counters ride on their own process.
+        assert any(e["name"].startswith("mem/") for e in payload["traceEvents"])
+
+    def test_report_text(self, capsys):
+        assert main([
+            "report", "--model", "llama3-8b", "--workload", "sharegpt",
+            "--requests", "4", "--kv-gib", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "phase/schedule" in out
+        assert "engine/steps" in out
+
+    def test_report_json(self, capsys):
+        import json
+
+        assert main([
+            "report", "--model", "llama3-8b", "--workload", "sharegpt",
+            "--requests", "4", "--kv-gib", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry"]["counters"]["engine/steps"] > 0
+        assert payload["engine"]["requests_finished"] == 4
+
     def test_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["throughput", "--model", "llama3-8b", "--workload", "secret"])

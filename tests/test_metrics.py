@@ -2,9 +2,12 @@
 
 import pytest
 
+from repro.core.events import EventBus, RequestPreempted, StepCompleted
+from repro.core.math_utils import percentile
 from repro.engine.metrics import (
     EngineMetrics,
     MemorySnapshot,
+    MetricsCollector,
     RequestMetrics,
     StepRecord,
 )
@@ -78,9 +81,68 @@ class TestEngineMetrics:
         assert m.mean_e2el() == 6.0
 
     def test_p99(self):
+        # Nearest-rank: the 99th of 100 ordered samples, not the maximum
+        # (the old int(q*n) index was biased one rank high).
         rs = [req(first=float(i)) for i in range(100)]
         m = EngineMetrics(requests=rs)
-        assert m.p99_ttft() == 99.0
+        assert m.p99_ttft() == 98.0
+
+
+class TestPercentile:
+    def test_p99_of_100_is_not_the_max(self):
+        values = [float(i) for i in range(100)]
+        assert percentile(values, 0.99) == 98.0
+        assert percentile(values, 1.0) == 99.0
+
+    def test_p50_even_length_is_lower_median(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+    def test_p50_odd_length_is_exact_median(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_extremes_and_unsorted_input(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+
+class TestMetricsCollector:
+    def test_collects_from_bus(self):
+        bus = EventBus(capacity=0)
+        collector = MetricsCollector(bus)
+        bus.emit(StepCompleted(0, 0.5, 0, record=step()))
+        bus.emit(RequestPreempted("r0", 0.5))
+        assert len(collector.steps) == 1
+        assert collector.preemptions == 1
+
+    def test_close_unsubscribes_idempotently(self):
+        bus = EventBus(capacity=0)
+        collector = MetricsCollector(bus)
+        bus.emit(StepCompleted(0, 0.5, 0, record=step()))
+        collector.close()
+        collector.close()  # idempotent
+        bus.emit(StepCompleted(1, 1.0, 0, record=step(i=1)))
+        assert len(collector.steps) == 1  # post-close event not counted
+
+    def test_closed_collector_does_not_leak_onto_shared_bus(self):
+        """Two engine runs on one bus must not cross-count events."""
+        bus = EventBus(capacity=0)
+        first = MetricsCollector(bus)
+        bus.emit(RequestPreempted("r0", 0.1))
+        first.close()
+        second = MetricsCollector(bus)
+        bus.emit(RequestPreempted("r1", 0.2))
+        assert first.preemptions == 1
+        assert second.preemptions == 1
 
 
 class TestMemorySnapshot:

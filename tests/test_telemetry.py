@@ -1,0 +1,253 @@
+"""Telemetry registry, histogram/timeline math, and the bus subscriber."""
+
+import pytest
+
+from repro.core.events import (
+    EventBus,
+    LargePageCarved,
+    PageAllocated,
+    PageEvicted,
+    PageEvictedToHost,
+    PageReleased,
+    PrefixHit,
+    RequestAdmitted,
+    RequestFailed,
+    RequestFinished,
+    RequestPreempted,
+    RequestQueued,
+    StepCompleted,
+)
+from repro.engine.metrics import MemorySnapshot, StepRecord
+from repro.obs import BusTelemetry, Histogram, TelemetryRegistry
+from repro.obs.export import render_report, report_payload
+
+
+class TestHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_counts_and_moments(self):
+        hist = Histogram([1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.counts == [1, 1, 1, 1]  # one per bucket + overflow
+        assert hist.total == 555.5
+        assert hist.vmin == 0.5
+        assert hist.vmax == 500.0
+
+    def test_percentile_reports_bucket_bound(self):
+        hist = Histogram([1.0, 10.0, 100.0])
+        for _ in range(99):
+            hist.observe(0.5)
+        hist.observe(50.0)
+        assert hist.percentile(0.5) == 1.0  # bucket bound, capped by vmax
+        assert hist.percentile(0.99) == 1.0
+        assert hist.percentile(1.0) == 50.0  # bucket bound capped by vmax
+
+    def test_percentile_overflow_bucket_reports_max(self):
+        hist = Histogram([1.0])
+        hist.observe(7.0)
+        assert hist.percentile(0.5) == 7.0
+
+    def test_percentile_capped_by_observed_max(self):
+        hist = Histogram([1.0, 1000.0])
+        hist.observe(2.0)
+        assert hist.percentile(0.5) == 2.0  # not the 1000.0 bound
+
+    def test_empty_histogram(self):
+        hist = Histogram([1.0])
+        assert hist.percentile(0.5) == 0.0
+        assert hist.mean == 0.0
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_percentile_validates_q(self):
+        hist = Histogram([1.0])
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+
+class TestTimeline:
+    def test_decimation_bounds_points(self):
+        reg = TelemetryRegistry()
+        for i in range(10_000):
+            reg.record_point("mem/used", float(i), float(i))
+        series = reg.timeline("mem/used")
+        assert len(series.points) < series.cap
+        assert series.stride > 1
+        assert series.last == (9999.0, 9999.0)
+        times = [t for t, _ in series.points]
+        assert times == sorted(times)
+
+    def test_small_series_unsampled(self):
+        reg = TelemetryRegistry()
+        for i in range(10):
+            reg.record_point("mem/used", float(i), 2.0 * i)
+        series = reg.timeline("mem/used")
+        assert series.stride == 1
+        assert len(series.points) == 10
+
+
+class TestRegistry:
+    def test_counters_and_gauges(self):
+        reg = TelemetryRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.set_gauge("g", 2.5)
+        assert reg.counters == {"a": 5}
+        assert reg.gauges == {"g": 2.5}
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        reg = TelemetryRegistry()
+        reg.inc("a")
+        reg.observe("h", 0.001)
+        reg.record_point("t", 1.0, 2.0)
+        decoded = json.loads(json.dumps(reg.snapshot()))
+        assert decoded["counters"] == {"a": 1}
+        assert decoded["histograms"]["h"]["count"] == 1
+        assert decoded["timelines"]["t"]["series"] == [[1.0, 2.0]]
+
+
+def _snapshot():
+    return MemorySnapshot(
+        used_by_group={"g": 3000},
+        evictable_bytes=1000,
+        waste_bytes=200,
+        free_bytes=800,
+    )
+
+
+class TestBusTelemetry:
+    def test_allocation_step_histogram(self):
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        for step in (1, 2, 2, 3, 5):
+            bus.emit(PageAllocated("g", "r0", step, step=step))
+        reg = telemetry.registry
+        assert reg.counters["alloc/pages"] == 5
+        assert reg.counters["alloc/step/2"] == 2
+        assert reg.counters["alloc/step/5"] == 1
+        assert "alloc/step/4" not in reg.counters
+
+    def test_eviction_provenance(self):
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        bus.emit(PageEvicted("g", 1, "small", prefix_length=0.0))
+        bus.emit(PageEvicted("g", 2, "large", prefix_length=3.0))
+        reg = telemetry.registry
+        assert reg.counters["evict/small"] == 1
+        assert reg.counters["evict/large"] == 1
+        assert reg.counters["evict/priority/balanced"] == 1
+        assert reg.counters["evict/priority/aligned"] == 1
+
+    def test_lifecycle_prefix_and_offload_counters(self):
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        bus.emit(RequestQueued("r0", 0.0))
+        bus.emit(RequestAdmitted("r0", 0.1))
+        bus.emit(PrefixHit("r0", 8, 64))
+        bus.emit(LargePageCarved("g", 0, 4))
+        bus.emit(PageReleased("g", 1, cached=True))
+        bus.emit(PageReleased("g", 2, cached=False))
+        bus.emit(PageEvictedToHost("g", 99, 4096))
+        bus.emit(RequestPreempted("r1", 0.2, reason="victim"))
+        bus.emit(RequestPreempted("r2", 0.3, reason="self"))
+        bus.emit(RequestFinished("r0", 0.4))
+        bus.emit(RequestFailed("r3", 0.5))
+        c = telemetry.registry.counters
+        assert c["requests/queued"] == 1
+        assert c["requests/admitted"] == 1
+        assert c["prefix/lookups"] == 1
+        assert c["prefix/hit_tokens"] == 8
+        assert c["prefix/lookup_tokens"] == 64
+        assert c["alloc/large_carved"] == 1
+        assert c["release/cached"] == 1
+        assert c["release/freed"] == 1
+        assert c["offload/spills"] == 1
+        assert c["offload/spill_bytes"] == 4096
+        assert c["preempt/victim"] == 1
+        assert c["preempt/self"] == 1
+        assert c["requests/finished"] == 1
+        assert c["requests/failed"] == 1
+
+    def test_step_feeds_memory_timeline_and_phases(self):
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        record = StepRecord(
+            index=0, start_time=0.0, duration=0.5, decode_batch=1,
+            prefill_tokens=0, num_running=1, num_waiting=0,
+            num_preemptions=0, memory=_snapshot(),
+            phases={"schedule": 1e-4, "allocate": 2e-5},
+        )
+        bus.emit(StepCompleted(0, 0.5, 0, record=record))
+        reg = telemetry.registry
+        assert reg.counters["engine/steps"] == 1
+        assert reg.gauges["mem/used"] == 3000
+        assert reg.gauges["mem/waste"] == 200
+        assert reg.timeline("mem/free").last == (0.5, 800)
+        assert reg.histograms["phase/schedule"].count == 1
+        assert reg.histograms["phase/allocate"].count == 1
+
+    def test_step_without_record_still_counts(self):
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        bus.emit(StepCompleted(0, 0.5, 0, record=None))
+        assert telemetry.registry.counters["engine/steps"] == 1
+        assert telemetry.registry.timelines == {}
+
+    def test_close_unsubscribes_idempotently(self):
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        bus.emit(RequestQueued("r0", 0.0))
+        telemetry.close()
+        telemetry.close()  # idempotent
+        bus.emit(RequestQueued("r1", 0.0))
+        assert telemetry.registry.counters["requests/queued"] == 1
+
+    def test_external_registry_is_adopted(self):
+        reg = TelemetryRegistry()
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus, registry=reg)
+        bus.emit(RequestQueued("r0", 0.0))
+        assert reg.counters["requests/queued"] == 1
+        assert telemetry.registry is reg
+
+
+class TestReport:
+    def _registry(self):
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        bus.emit(PageAllocated("g", "r0", 1, step=2))
+        record = StepRecord(
+            index=0, start_time=0.0, duration=0.5, decode_batch=1,
+            prefill_tokens=8, num_running=1, num_waiting=0,
+            num_preemptions=0, memory=_snapshot(),
+            phases={"schedule": 1e-4},
+        )
+        bus.emit(StepCompleted(0, 0.5, 0, record=record))
+        return telemetry.registry
+
+    def test_render_report_sections(self):
+        text = render_report(self._registry())
+        assert "-- counters --" in text
+        assert "alloc/pages" in text
+        assert "-- histograms --" in text
+        assert "phase/schedule" in text
+        assert "-- timelines --" in text
+        assert "MiB" in text  # mem/* formatted as MiB
+
+    def test_report_payload_round_trips(self):
+        import json
+
+        payload = report_payload(self._registry())
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["telemetry"]["counters"]["engine/steps"] == 1
