@@ -40,6 +40,8 @@ def main(argv=None) -> int:
     payload = run_benchmark(output=args.output, smoke=args.smoke, seed=args.seed)
     ratio = payload["churn"]["scaling_ratio_p50"]
     print(f"churn p50 scaling ratio (largest pool / smallest): {ratio:.2f}")
+    cached = payload["admission"]["cached_probe_scaling_p50"]
+    print(f"admission cached-probe p50 scaling ratio (deepest/shallowest): {cached:.2f}")
     return 0
 
 
@@ -64,6 +66,12 @@ def test_bench_allocator_smoke(benchmark):
         lines.append(
             f"queue  depth={cell['depth']:>5}  "
             f"{cell['ops_per_sec']:>12,.0f} ops/s  p50 {cell['p50_us']:.2f}us"
+        )
+    for cell in payload["admission"]["sweep"]:
+        lines.append(
+            f"admit  depth={cell['depth']:>5}  "
+            f"cached p50 {cell['cached']['p50_us']:.2f}us  "
+            f"uncached p50 {cell['uncached']['p50_us']:.2f}us"
         )
     eng = payload["engine"]
     lines.append(

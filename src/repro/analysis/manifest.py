@@ -37,6 +37,7 @@ HOT_MODULES: FrozenSet[str] = frozenset(
         "repro/core/free_pool.py",
         "repro/core/evictor.py",
         "repro/core/kv_alloc.py",
+        "repro/core/admission.py",
         "repro/engine/scheduler.py",
     }
 )
@@ -49,6 +50,9 @@ AUDITED_SLOW_FUNCS: FrozenSet[str] = frozenset(
     {
         "items_in_order",  # test/bench introspection, documented O(n log n)
         "_rebuild",        # heap compaction, amortized O(1) per mutation
+        # Deliberate full recompute: the stats_slow()-style cross-check the
+        # admission-bound cache is property-tested against.
+        "can_admit_uncached",
     }
 )
 
@@ -81,6 +85,7 @@ EVENT_CLASSES: FrozenSet[str] = frozenset(
     {
         "PageAllocated",
         "LargePageCarved",
+        "PageAcquired",
         "PageEvicted",
         "PageEvictedToHost",
         "PageReleased",
@@ -150,6 +155,15 @@ GUARDED_COUNTERS: Dict[str, str] = {
     "_entry": "FreePool",
     "_by_request": "FreePool",
     "_by_large": "FreePool",
+    # AdmissionCache effectiveness counters and invalidation state: only
+    # the cache's own bind/invalidate/rebuild paths may move them,
+    # otherwise the cached bounds silently drift from can_admit_uncached.
+    "num_rebuilds": "AdmissionCache",
+    "num_invalidations": "AdmissionCache",
+    "num_demand_hits": "AdmissionCache",
+    "num_demand_misses": "AdmissionCache",
+    # Mamba slot-occupancy churn folded into admission_version.
+    "_mamba_churn": "PagedAttentionManager",
 }
 
 # -- rule: dynamic-attr -------------------------------------------------
@@ -166,5 +180,7 @@ HOT_CLASSES: FrozenSet[str] = frozenset(
         "TwoLevelAllocator",
         "LCMAllocator",
         "WaitingQueue",
+        "AdmissionCache",
+        "AdmissionGate",
     }
 )

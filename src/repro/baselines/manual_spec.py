@@ -111,6 +111,26 @@ class DualManager(KVCacheManagerBase):
             m.can_admit(seq, watermark_pages, chunk_tokens) for m in self.managers
         )
 
+    def can_admit_uncached(
+        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
+    ) -> bool:
+        return all(
+            m.can_admit_uncached(seq, watermark_pages, chunk_tokens)
+            for m in self.managers
+        )
+
+    def admission_version(self) -> int:
+        # Sum of monotone per-side counters: equal sums imply every side
+        # is unchanged, so the composite verdict is unchanged.  Any side
+        # without a cache (-1) disables the skip for the composite.
+        total = 0
+        for manager in self.managers:
+            version = manager.admission_version()
+            if version < 0:
+                return -1
+            total += version
+        return total
+
     def stats(self) -> AllocatorStats:
         parts = [m.stats() for m in self.managers]
         used: Dict[str, int] = {}

@@ -99,6 +99,11 @@ class PagedAttentionManager(JengaKVCacheManager):
             seed=seed,
         )
         self._mamba_holders: Set[str] = set()
+        # Monotone count of slot-occupancy changes.  Slot exhaustion gates
+        # can_admit but moves without any bus event, so admission_version
+        # folds this counter in (a sum of monotone counters is
+        # equality-safe: equal sums imply equal components).
+        self._mamba_churn = 0
 
     # ------------------------------------------------------------------
     # Static Mamba pool on top of the paged KV cache
@@ -106,8 +111,13 @@ class PagedAttentionManager(JengaKVCacheManager):
 
     def begin_request(self, seq: SequenceSpec) -> int:
         hit = super().begin_request(seq)
-        if self._mamba_slots and len(self._mamba_holders) < self._mamba_slots:
+        if (
+            self._mamba_slots
+            and seq.request_id not in self._mamba_holders
+            and len(self._mamba_holders) < self._mamba_slots
+        ):
             self._mamba_holders.add(seq.request_id)
+            self._mamba_churn += 1
         return hit
 
     def allocate_up_to(self, seq: SequenceSpec, target_global: int) -> bool:
@@ -115,6 +125,7 @@ class PagedAttentionManager(JengaKVCacheManager):
             if len(self._mamba_holders) >= self._mamba_slots:
                 return False
             self._mamba_holders.add(seq.request_id)
+            self._mamba_churn += 1
         return super().allocate_up_to(seq, target_global)
 
     def can_allocate(self, seq: SequenceSpec, target_global: int) -> bool:
@@ -137,8 +148,27 @@ class PagedAttentionManager(JengaKVCacheManager):
             return False
         return super().can_admit(seq, watermark_pages, chunk_tokens)
 
+    def can_admit_uncached(
+        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
+    ) -> bool:
+        if (
+            self._mamba_slots
+            and seq.request_id not in self._mamba_holders
+            and len(self._mamba_holders) >= self._mamba_slots
+        ):
+            return False
+        return super().can_admit_uncached(seq, watermark_pages, chunk_tokens)
+
+    def admission_version(self) -> int:
+        version = super().admission_version()
+        if version < 0 or not self._mamba_slots:
+            return version
+        return version + self._mamba_churn
+
     def release(self, seq: SequenceSpec, cacheable: bool = True) -> None:
-        self._mamba_holders.discard(seq.request_id)
+        if seq.request_id in self._mamba_holders:
+            self._mamba_holders.discard(seq.request_id)
+            self._mamba_churn += 1
         super().release(seq, cacheable=cacheable)
 
     def stats(self) -> AllocatorStats:

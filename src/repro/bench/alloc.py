@@ -14,6 +14,13 @@ corrupted allocator:
 * **queue** -- steady-state push/pop on the scheduler's
   :class:`~repro.engine.scheduler.WaitingQueue` swept across standing
   queue depths; heap-backed, so cost must not grow with depth.
+* **admission** -- deep-waiting-queue admission sweep: every queued
+  request probed per round through the cached ``can_admit`` (snapshot +
+  demand memo) and the ``can_admit_uncached`` cross-check, with one
+  allocator mutation between rounds to force a snapshot rebuild.  Cached
+  per-probe p50 must stay flat as the queue deepens while the uncached
+  per-round total grows linearly; every verdict is asserted equal across
+  the two arms.
 * **engine** -- a full synthetic serving run (continuous batching,
   prefix caching, preemption) under memory pressure, reporting wall-clock
   steps/sec and p50/p99 step latency.
@@ -43,6 +50,7 @@ __all__ = [
     "churn_bench",
     "evictor_churn_bench",
     "queue_bench",
+    "admission_bench",
     "engine_bench",
 ]
 
@@ -236,6 +244,105 @@ def queue_bench(depth: int, num_ops: int, seed: int = 0) -> Dict:
     }
 
 
+def admission_bench(depth: int, rounds: int, seed: int = 0,
+                    num_large: int = 256) -> Dict:
+    """Deep-waiting-queue admission sweep: cached vs uncached probes.
+
+    Models the scheduler's worst case -- a deep FCFS queue whose head
+    stays blocked, so every waiting request is re-probed each step.  Each
+    round first perturbs the allocator (one allocate/release pair, enough
+    to dirty the snapshot), then probes all ``depth`` queued sequences
+    through the cached ``can_admit`` and again through
+    ``can_admit_uncached``, asserting every verdict matches.  Cached
+    per-probe cost must be flat in ``depth`` (one snapshot rebuild
+    amortized over the round, demand memo hits after round one); the
+    uncached per-round total is the linear rescan baseline.
+    """
+    from ..core.kv_manager import JengaKVCacheManager
+    from ..core.sequence import SequenceSpec
+
+    rng = random.Random(seed)
+    specs = {
+        name: GroupSpec(
+            name, kw["kind"], 1, kw["per_token_bytes"], tokens_per_page=4,
+            window=kw.get("window"), accepted_tags=_TEXT,
+        )
+        for name, kw in _GROUP_SPECS.items()
+    }
+    mgr = JengaKVCacheManager(
+        specs, _LARGE_PAGE_BYTES * num_large, enable_prefix_caching=True
+    )
+
+    # Occupy the pool realistically: some requests held (USED pages), some
+    # finished and cached (evictable pages feeding the reclaim terms).
+    for i in range(24):
+        tokens = [10_000 * i + t for t in range(128)]
+        filler = SequenceSpec.text_only(f"fill{i}", tokens)
+        mgr.begin_request(filler)
+        if not mgr.allocate_up_to(filler, len(tokens)):
+            mgr.release(filler, cacheable=False)
+            continue
+        mgr.commit(filler, len(tokens), now=float(i), phase="prefill")
+        if i % 2 == 0:
+            mgr.release(filler, cacheable=True)
+
+    waiting = [
+        SequenceSpec.text_only(
+            f"wait{i}", [1_000_000 + 500 * i + t for t in range(256)]
+        )
+        for i in range(depth)
+    ]
+    watermark, chunk = 8, 8192
+
+    cached_lat: List[float] = []
+    uncached_lat: List[float] = []
+    cached_round_s: List[float] = []
+    uncached_round_s: List[float] = []
+    for _ in range(rounds):
+        # One pool mutation: net-zero on counts but it publishes events,
+        # so the next cached probe pays a real snapshot rebuild.
+        gid = rng.choice(list(mgr.allocator.groups))
+        page = mgr.allocator.allocate_page(gid, "mutator")
+        if page is not None:
+            mgr.allocator.release_page(gid, page.page_id, cacheable=False)
+
+        cached_verdicts: List[bool] = []
+        t_round = time.perf_counter()
+        for seq in waiting:
+            t0 = time.perf_counter()
+            verdict = mgr.can_admit(seq, watermark, chunk)
+            cached_lat.append(time.perf_counter() - t0)
+            cached_verdicts.append(verdict)
+        cached_round_s.append(time.perf_counter() - t_round)
+
+        uncached_verdicts: List[bool] = []
+        t_round = time.perf_counter()
+        for seq in waiting:
+            t0 = time.perf_counter()
+            verdict = mgr.can_admit_uncached(seq, watermark, chunk)
+            uncached_lat.append(time.perf_counter() - t0)
+            uncached_verdicts.append(verdict)
+        uncached_round_s.append(time.perf_counter() - t_round)
+
+        assert cached_verdicts == uncached_verdicts
+
+    _assert_stats_equal(mgr.allocator)
+    mgr.allocator.check_invariants()
+    cache = mgr._admission
+    return {
+        "depth": depth,
+        "rounds": rounds,
+        "probes": depth * rounds,
+        "cached": {"count": len(cached_lat), **_percentiles(cached_lat)},
+        "uncached": {"count": len(uncached_lat), **_percentiles(uncached_lat)},
+        "cached_round": _percentiles(cached_round_s),
+        "uncached_round": _percentiles(uncached_round_s),
+        "snapshot_rebuilds": cache.num_rebuilds,
+        "demand_hits": cache.num_demand_hits,
+        "demand_misses": cache.num_demand_misses,
+    }
+
+
 def engine_bench(
     num_requests: int, seed: int = 0, max_steps: int = 50_000, traced: bool = True
 ) -> Dict:
@@ -316,15 +423,23 @@ _FULL_SCALE = {
     "evictor_ops": 50_000,
     "queue_depths": [100, 1_000, 10_000],
     "queue_ops": 20_000,
+    "admission_depths": [64, 640],
+    "admission_rounds": 8,
     "engine_requests": 80,
 }
+# Smoke sweep points deliberately overlap the full-scale ones (queue depth
+# 100, admission depth 64, churn size 64): ``bench-compare`` matches
+# metrics by key, so a smoke run in CI can gate against the committed
+# full-scale baseline on the shared points.
 _SMOKE_SCALE = {
     "churn_sizes": [16, 64],
     "churn_ops": 6_000,
     "evictor_sizes": [200, 1_000],
     "evictor_ops": 5_000,
-    "queue_depths": [50, 500],
+    "queue_depths": [100, 500],
     "queue_ops": 2_000,
+    "admission_depths": [64, 160],
+    "admission_rounds": 3,
     "engine_requests": 8,
 }
 
@@ -379,6 +494,25 @@ def run_benchmark(
             f"p50 {queue_sweep[-1]['p50_us']:.2f}us")
     queue_scaling = queue_sweep[-1]["p50_us"] / max(queue_sweep[0]["p50_us"], 1e-9)
 
+    admission_sweep = []
+    for depth in knobs["admission_depths"]:
+        say(f"[admission] depth {depth}, {knobs['admission_rounds']} rounds ...")
+        admission_sweep.append(
+            admission_bench(depth, knobs["admission_rounds"], seed=seed)
+        )
+        row = admission_sweep[-1]
+        say(f"    cached p50 {row['cached']['p50_us']:.2f}us  "
+            f"uncached p50 {row['uncached']['p50_us']:.2f}us  "
+            f"uncached round p50 {row['uncached_round']['p50_us']:.0f}us")
+    admission_cached_scaling = (
+        admission_sweep[-1]["cached"]["p50_us"]
+        / max(admission_sweep[0]["cached"]["p50_us"], 1e-9)
+    )
+    admission_uncached_step_scaling = (
+        admission_sweep[-1]["uncached_round"]["p50_us"]
+        / max(admission_sweep[0]["uncached_round"]["p50_us"], 1e-9)
+    )
+
     say(f"[engine] synthetic run, {knobs['engine_requests']} requests ...")
     engine = engine_bench(knobs["engine_requests"], seed=seed)
     say(f"    {engine['steps']} steps at {engine['steps_per_sec']:,.0f} steps/s  "
@@ -409,6 +543,16 @@ def run_benchmark(
         "queue": {
             "sweep": queue_sweep,
             "scaling_ratio_p50": queue_scaling,
+        },
+        "admission": {
+            "sweep": admission_sweep,
+            # Cached per-probe p50 at the deepest queue over the
+            # shallowest: ~1.0 means the snapshot + demand memo make a
+            # single blocked-probe O(groups), independent of queue depth.
+            "cached_probe_scaling_p50": admission_cached_scaling,
+            # The uncached per-round total is the linear rescan baseline
+            # the cache replaces; it should track the depth ratio.
+            "uncached_step_scaling_p50": admission_uncached_step_scaling,
         },
         "engine": engine,
         "invariant_checkpoints": sum(

@@ -1,0 +1,181 @@
+"""Compare two ``BENCH_alloc.json`` payloads and gate on regressions.
+
+CI runs the microbenchmark at smoke scale and holds the result against
+the committed full-scale baseline.  Scales differ, so payloads are first
+flattened into ``metric-key -> value`` maps (:func:`collect_metrics`) and
+only the *overlapping* keys are compared -- the smoke sweep points are
+chosen to overlap the full-scale ones (churn ``large=64``, queue
+``depth=100``, admission ``depth=64``, every engine phase) exactly so
+this works.
+
+Absolute microseconds differ across machines; two mitigations:
+
+* the gate is a *ratio* with a generous ``--tolerance`` (default 1.5x),
+  catching algorithmic regressions (a flat cost going linear) rather than
+  noise;
+* ``--calibrate METRIC`` rescales every current value by the speed factor
+  observed on one designated metric (current/baseline), normalizing a
+  uniformly slower or faster machine.  The calibration metric itself is
+  excluded from gating.
+
+Exposed as ``python -m repro.cli bench-compare``; exits non-zero when any
+compared metric exceeds tolerance, and ``--summary PATH`` appends a
+markdown table (pointed at ``$GITHUB_STEP_SUMMARY`` in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["collect_metrics", "compare_metrics", "render_markdown", "main"]
+
+
+def collect_metrics(payload: Dict) -> Dict[str, float]:
+    """Flatten a ``BENCH_alloc.json`` payload into comparable metrics.
+
+    Keys are stable across scales (they embed the sweep point, not its
+    index), so a smoke payload and a full-scale payload overlap exactly
+    on the sweep points they share.
+    """
+    metrics: Dict[str, float] = {}
+    for cell in payload.get("churn", {}).get("sweep", []):
+        metrics[f"churn/large={cell['num_large_pages']}/p50_us"] = cell["p50_us"]
+    for cell in payload.get("queue", {}).get("sweep", []):
+        metrics[f"queue/depth={cell['depth']}/p50_us"] = cell["p50_us"]
+    for cell in payload.get("admission", {}).get("sweep", []):
+        key = f"admission/depth={cell['depth']}/cached_p50_us"
+        metrics[key] = cell["cached"]["p50_us"]
+    for name, row in payload.get("engine", {}).get("phases", {}).items():
+        metrics[f"engine/{name}/p50_us"] = row["p50_us"]
+    return metrics
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One compared metric: calibrated ratio plus its gate verdict."""
+
+    key: str
+    baseline: float
+    current: float
+    ratio: float
+    ok: bool
+    calibration: bool = False  # excluded from gating
+
+
+def compare_metrics(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+    calibrate: Optional[str] = None,
+) -> List[Comparison]:
+    """Compare overlapping metrics; lower is better for all of them.
+
+    With ``calibrate``, every current value is divided by the speed
+    factor measured on that metric before the ratio is taken.
+    """
+    factor = 1.0
+    if calibrate is not None:
+        if calibrate not in baseline or calibrate not in current:
+            raise KeyError(
+                f"calibration metric {calibrate!r} missing from "
+                f"{'baseline' if calibrate not in baseline else 'current'} payload"
+            )
+        if baseline[calibrate] > 0 and current[calibrate] > 0:
+            factor = current[calibrate] / baseline[calibrate]
+
+    rows: List[Comparison] = []
+    for key in sorted(baseline.keys() & current.keys()):
+        if key == calibrate:
+            rows.append(
+                Comparison(key, baseline[key], current[key],
+                           current[key] / max(baseline[key], 1e-12),
+                           ok=True, calibration=True)
+            )
+            continue
+        adjusted = current[key] / factor
+        ratio = adjusted / max(baseline[key], 1e-12)
+        rows.append(
+            Comparison(key, baseline[key], current[key], ratio,
+                       ok=ratio <= tolerance)
+        )
+    return rows
+
+
+def render_markdown(rows: List[Comparison], tolerance: float,
+                    calibrate: Optional[str]) -> str:
+    """Markdown summary table for ``$GITHUB_STEP_SUMMARY``."""
+    lines = [
+        "## Benchmark regression check",
+        "",
+        f"Tolerance: **{tolerance:.2f}x**"
+        + (f", calibrated on `{calibrate}`" if calibrate else "")
+        + f" -- {sum(1 for r in rows if not r.calibration)} metrics compared.",
+        "",
+        "| metric | baseline | current | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        status = ("calibration" if row.calibration
+                  else "ok" if row.ok else "**REGRESSION**")
+        lines.append(
+            f"| `{row.key}` | {row.baseline:.2f} | {row.current:.2f} "
+            f"| {row.ratio:.2f}x | {status} |"
+        )
+    failed = [r for r in rows if not r.ok]
+    lines.append("")
+    lines.append(
+        f"**{len(failed)} regression(s) past tolerance.**" if failed
+        else "All compared metrics within tolerance."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-compare", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_alloc.json to gate against")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced payload to check")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="max allowed current/baseline ratio (default 1.5)")
+    parser.add_argument("--calibrate", default=None, metavar="METRIC",
+                        help="metric used to normalize machine speed "
+                             "(excluded from gating)")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="append a markdown summary table to PATH")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as f:
+        baseline = collect_metrics(json.load(f))
+    with open(args.current) as f:
+        current = collect_metrics(json.load(f))
+    rows = compare_metrics(baseline, current, args.tolerance, args.calibrate)
+    if not any(not r.calibration for r in rows):
+        print("bench-compare: no overlapping metrics between payloads")
+        return 2
+
+    width = max(len(r.key) for r in rows)
+    for row in rows:
+        status = ("calib" if row.calibration else "ok" if row.ok else "FAIL")
+        print(f"{row.key:<{width}}  base {row.baseline:10.2f}  "
+              f"cur {row.current:10.2f}  ratio {row.ratio:6.2f}x  {status}")
+    failed = [r for r in rows if not r.ok]
+    print(f"bench-compare: {len(rows)} metric(s), {len(failed)} past "
+          f"tolerance {args.tolerance:.2f}x")
+
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(render_markdown(rows, args.tolerance, args.calibrate))
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -245,8 +245,22 @@ def cmd_bench_alloc(args) -> int:
     payload = run_benchmark(output=args.output, smoke=args.smoke, seed=args.seed)
     churn = payload["churn"]["scaling_ratio_p50"]
     queue = payload["queue"]["scaling_ratio_p50"]
-    print(f"scaling ratios (p50 largest/smallest): churn {churn:.2f}, queue {queue:.2f}")
+    admission = payload["admission"]["cached_probe_scaling_p50"]
+    print(f"scaling ratios (p50 largest/smallest): churn {churn:.2f}, "
+          f"queue {queue:.2f}, admission cached {admission:.2f}")
     return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from .bench.compare import main as compare_main
+
+    argv = ["--baseline", args.baseline, "--current", args.current,
+            "--tolerance", str(args.tolerance)]
+    if args.calibrate:
+        argv += ["--calibrate", args.calibrate]
+    if args.summary:
+        argv += ["--summary", args.summary]
+    return compare_main(argv)
 
 
 def cmd_lint(args) -> int:
@@ -343,6 +357,22 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_alloc.json")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_bench_alloc)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="gate a BENCH_alloc.json payload against a committed baseline",
+    )
+    p.add_argument("--baseline", required=True,
+                   help="committed BENCH_alloc.json to gate against")
+    p.add_argument("--current", required=True,
+                   help="freshly produced payload to check")
+    p.add_argument("--tolerance", type=float, default=1.5,
+                   help="max allowed current/baseline p50 ratio")
+    p.add_argument("--calibrate", default=None, metavar="METRIC",
+                   help="metric used to normalize machine speed")
+    p.add_argument("--summary", default=None, metavar="PATH",
+                   help="append a markdown summary (e.g. $GITHUB_STEP_SUMMARY)")
+    p.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser(
         "lint",

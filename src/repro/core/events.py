@@ -10,8 +10,9 @@ observable without print-debugging:
 * the allocator emits :class:`PageAllocated` tagged with the §5.4 step
   (1-5) that satisfied it, :class:`LargePageCarved` when a large page is
   carved from the LCM pool, :class:`PageEvicted` for small- and large-page
-  evictions, and :class:`PageReleased` when a request's last reference
-  drops;
+  evictions, :class:`PageReleased` when a request's last reference
+  drops, and :class:`PageAcquired` when a prefix-cache hit reactivates an
+  evictable page;
 * the KV manager emits :class:`PrefixHit` per prefix-cache lookup;
 * the engine emits the request lifecycle (:class:`RequestQueued`,
   :class:`RequestAdmitted`, :class:`RequestPreempted`,
@@ -35,6 +36,7 @@ __all__ = [
     "Event",
     "PageAllocated",
     "LargePageCarved",
+    "PageAcquired",
     "PageEvicted",
     "PageEvictedToHost",
     "PageReleased",
@@ -93,6 +95,21 @@ class LargePageCarved(Event):
 
 
 @dataclass(frozen=True)
+class PageAcquired(Event):
+    """A prefix-cache hit reactivated a cached page (EVICTABLE -> USED).
+
+    Emitted only on the state transition, not on extra references taken on
+    an already-active page: the transition is what moves the page out of
+    the evictor and so changes the pool's reclaimable accounting (which
+    admission bounds depend on -- see :mod:`repro.core.admission`).
+    """
+
+    group_id: str
+    page_id: int
+    request_id: str
+
+
+@dataclass(frozen=True)
 class PageEvicted(Event):
     """An evictable page was reclaimed (``level`` is ``small``/``large``).
 
@@ -118,7 +135,11 @@ class PageEvictedToHost(Event):
 
 @dataclass(frozen=True)
 class PageReleased(Event):
-    """A page's last reference dropped (``cached``: kept as evictable)."""
+    """A page's last reference dropped (``cached``: kept as evictable).
+
+    Also emitted with ``cached=False`` when a stale cached copy of a block
+    is displaced from the cache index and freed outright.
+    """
 
     group_id: str
     page_id: int

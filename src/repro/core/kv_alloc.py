@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .admission import AdmissionCache
 from .kv_binding import BindingTableMixin, GroupBinding, policy_pages_to_write
 from .layer_policy import (
     DROPPED_TOKEN,
@@ -32,8 +33,12 @@ class AllocationMixin(BindingTableMixin):
 
     Extends :class:`~repro.core.kv_binding.BindingTableMixin`, whose
     declared attributes (``specs``, ``policies``, ``allocator``, ...) the
-    composing manager supplies.
+    composing manager supplies.  The composing manager also supplies
+    ``_admission`` (see :class:`~repro.core.admission.AdmissionCache`),
+    which backs the cached :meth:`can_admit` fast path.
     """
+
+    _admission: AdmissionCache
 
     def allocate_up_to(self, seq: SequenceSpec, target_global: int) -> bool:
         """Ensure pages back the first ``target_global`` tokens of ``seq``.
@@ -211,6 +216,74 @@ class AllocationMixin(BindingTableMixin):
         self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
     ) -> bool:
         """Admission control: will the whole prompt's footprint ever fit?
+
+        Cached evaluation of the same bound :meth:`can_admit_uncached`
+        recomputes from scratch: the pool side comes from the
+        event-invalidated :class:`~repro.core.admission.AdmissionCache`
+        snapshot, the demand side from its per-request memo, and only the
+        held-page subtraction and peak-residency correction are evaluated
+        per probe (held references and ``chunk_tokens`` change between
+        probes).  ``tests/test_admission_cache.py`` property-tests the two
+        paths against each other under randomized churn.
+        """
+        cache = self._admission
+        bus = self.allocator.events
+        if bus is None:
+            # No bus, no invalidation signal: fall back to the full
+            # recompute rather than trusting a snapshot nothing dirties.
+            return self.can_admit_uncached(seq, watermark_pages, chunk_tokens)
+        if cache.bus is not bus:
+            # bind_events swapped the manager's bus, or another manager
+            # rebound a shared allocator; resubscribe before trusting
+            # anything cached.
+            cache.bind(bus)
+        snap = cache.snapshot()
+        entry = cache.demand(seq, self.specs, self.policies)
+        bindings = self._bindings.get(seq.request_id)
+        large_needed = 0
+        for group_id, gross in entry.gross.items():
+            n = gross
+            if bindings is not None:
+                # Pages already held (prefix-cache hits acquired at
+                # begin_request) need no new allocation.
+                n -= len(bindings[group_id].held)
+                if n < 0:
+                    n = 0
+            spec = self.specs[group_id]
+            if spec.kind in (SLIDING_WINDOW, DROPPED_TOKEN):
+                limit = spec.window if spec.window is not None else spec.budget
+                assert limit is not None  # validated in GroupSpec.__post_init__
+                peak_tokens = entry.stream_total[group_id]
+                if limit + chunk_tokens < peak_tokens:
+                    peak_tokens = limit + chunk_tokens
+                peak_pages = -(-peak_tokens // spec.tokens_per_page)
+                if peak_pages > n:
+                    n = peak_pages
+            deficit = n + watermark_pages - snap.local[group_id]
+            if deficit > 0:
+                large_needed += -(-deficit // snap.small_per_large[group_id])
+        return large_needed <= snap.available
+
+    def admission_version(self) -> int:
+        """Monotone pool-state version for admission-verdict reuse.
+
+        Equal versions across probes guarantee the pool inputs of
+        :meth:`can_admit` are unchanged, so the engine may skip re-probing
+        a blocked head-of-queue request entirely.  Returns ``-1`` (never
+        skip) when the allocator has no bus to publish invalidations on.
+        """
+        bus = self.allocator.events
+        if bus is None:
+            return -1
+        cache = self._admission
+        if cache.bus is not bus:
+            cache.bind(bus)
+        return cache.version
+
+    def can_admit_uncached(
+        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
+    ) -> bool:
+        """Uncached admission check -- the ``stats_slow()``-style cross-check.
 
         vLLM gates admission on the full prompt's block count; doing the
         same avoids admit-preempt thrash.  Each group's need is its

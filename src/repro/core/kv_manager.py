@@ -55,6 +55,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from .admission import AdmissionCache
 from .events import EventBus
 from .kv_alloc import AllocationMixin, ideal_resident_bytes
 from .kv_binding import BindingTableMixin, GroupBinding, policy_pages_to_write
@@ -168,11 +169,16 @@ class JengaKVCacheManager(
         if offload is not None and enable_prefix_caching:
             self.host_pool = HostMemoryPool(offload)
             self.allocator.eviction_listener = self._on_gpu_eviction
+        # Admission-bound cache: event-invalidated pool snapshot plus
+        # per-request demand memo behind can_admit (see repro.core.admission).
+        self._admission = AdmissionCache(self.allocator, self.allocator.events)
 
     def bind_events(self, events: EventBus) -> None:
-        """Adopt ``events`` for this manager *and* its allocator."""
+        """Adopt ``events`` for this manager, its allocator, and the
+        admission cache's invalidation subscription."""
         self.events = events
         self.allocator.events = events
+        self._admission.bind(events)
 
     # ------------------------------------------------------------------
     # Commit / release

@@ -85,6 +85,23 @@ class KVCacheManager(Protocol):
         """Admission control: will the whole prompt's footprint ever fit?"""
         ...
 
+    def can_admit_uncached(
+        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
+    ) -> bool:
+        """Uncached :meth:`can_admit` -- the ``stats_slow()``-style
+        cross-check for the admission-bound cache (same verdict, no
+        snapshot/memo reuse)."""
+        ...
+
+    def admission_version(self) -> int:
+        """Monotone pool-state version for admission-verdict reuse.
+
+        Equal versions across probes mean the pool inputs of
+        :meth:`can_admit` are unchanged, so the engine may skip
+        re-probing a blocked head-of-queue request.  ``-1`` disables the
+        skip (no cache, or no bus to publish invalidations on)."""
+        ...
+
     def stats(self) -> AllocatorStats:
         """Point-in-time memory accounting."""
         ...
@@ -177,6 +194,17 @@ class KVCacheManagerBase:
         raise NotImplementedError
 
     # -- optional members with defaults ---------------------------------
+
+    def can_admit_uncached(
+        self, seq: SequenceSpec, watermark_pages: int = 0, chunk_tokens: int = 8192
+    ) -> bool:
+        # A backend without an admission cache has nothing to cross-check:
+        # its can_admit *is* the uncached path.
+        return self.can_admit(seq, watermark_pages, chunk_tokens)
+
+    def admission_version(self) -> int:
+        # -1: no cache, never skip a re-probe on this manager's account.
+        return -1
 
     def allocate_vision(self, seq: SequenceSpec) -> bool:
         return True

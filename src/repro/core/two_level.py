@@ -32,7 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .events import EventBus, LargePageCarved, PageAllocated, PageEvicted, PageReleased
+from .events import (
+    EventBus,
+    LargePageCarved,
+    PageAcquired,
+    PageAllocated,
+    PageEvicted,
+    PageReleased,
+)
 from .evictor import LRUEvictor
 from .free_pool import FreePool
 from .layer_policy import GroupSpec, LayerTypePolicy
@@ -359,6 +366,10 @@ class TwoLevelAllocator:
             self._bump(page, PageState.EVICTABLE, PageState.USED)
             page.state = PageState.USED
             group.note_fill(page.num_tokens)
+            # The page just left the evictor (and possibly shrank the
+            # fully-evictable large-page set): admission bounds changed.
+            if self.events is not None and self.events.has_subscribers(PageAcquired):
+                self.events.emit(PageAcquired(group_id, page.page_id, request_id))
         page.ref_count += 1
         page.request_id = request_id
         return page
@@ -375,8 +386,14 @@ class TwoLevelAllocator:
             if old is not None and old.block_hash == block_hash:
                 old.block_hash = None
                 if old.is_evictable:
-                    group.evictor.discard(old.page_id)
+                    old_page_id = old.page_id
+                    group.evictor.discard(old_page_id)
                     self._free_page(group, old)
+                    # The displaced copy freed outright without passing
+                    # through release_page: publish the state change so
+                    # admission bounds don't go stale.
+                    if self.events is not None and self.events.has_subscribers(PageReleased):
+                        self.events.emit(PageReleased(group_id, old_page_id, False))
 
     def touch_evictable(self, group_id: str, page: SmallPage) -> None:
         """Re-key an evictable page after its eviction metadata changed."""

@@ -33,7 +33,7 @@ from .metrics import (
     StepRecord,
 )
 from .request import Request, RequestState
-from .scheduler import SchedulerConfig, WaitingQueue
+from .scheduler import AdmissionGate, SchedulerConfig, WaitingQueue
 
 __all__ = ["LLMEngine"]
 
@@ -97,6 +97,9 @@ class LLMEngine:
         # otherwise admission and preemption ping-pong and the engine
         # endlessly re-prefills long prompts.
         self._admission_cooldown = 0
+        # Skip re-probing a blocked queue head until pool state changes
+        # (keyed on the manager's monotone admission_version).
+        self._admission_gate = AdmissionGate()
 
     @property
     def steps(self) -> List[StepRecord]:
@@ -303,11 +306,34 @@ class LLMEngine:
     def _admit(self, now: float, work: StepWork) -> None:
         if self._admission_cooldown > 0 and self.running:
             return
+        tracer = self.tracer
+        if tracer.enabled:
+            # schedule/admission child span: the probe cost (including the
+            # nested prefix_lookup) stays attributable in engine.phases.
+            tracer.begin_span("admission")
+            try:
+                self._admit_loop(now, work)
+            finally:
+                tracer.end_span()
+        else:
+            self._admit_loop(now, work)
+
+    def _admit_loop(self, now: float, work: StepWork) -> None:
+        """Probe-and-admit the waiting queue head until blocked or full."""
         while len(self.running) < self.config.max_num_seqs:
             request = self.waiting.peek_ready(now)
             if request is None:
                 break
             seq = request.seq
+            if self.running and self._admission_gate.should_skip(
+                seq.request_id, len(seq), self.manager.admission_version()
+            ):
+                # Same blocked head, same sequence length, no pool-state
+                # event since the last failed probe: the verdict cannot
+                # have changed, so skip the whole begin/can_admit/release
+                # cycle.  (With nothing running we always probe, so the
+                # permanent-failure path below still triggers.)
+                break
             hit = self.manager.begin_request(seq)
             if not self.manager.can_admit(
                 seq, self.config.watermark_pages, self.config.max_num_batched_tokens
@@ -322,6 +348,11 @@ class LLMEngine:
                     if self.events.has_subscribers(RequestFailed):
                         self.events.emit(RequestFailed(request.request_id, now))
                     continue
+                # Version is read *after* the release so the probe's own
+                # (count-net-zero) acquire/release events are absorbed.
+                self._admission_gate.note_blocked(
+                    seq.request_id, len(seq), self.manager.admission_version()
+                )
                 break
             if self.model.vision is not None and seq.image_spans and not request.encoder_done:
                 if self.manager.has_vision_cache:

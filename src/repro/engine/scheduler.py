@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 from ..core.events import EventBus, RequestQueued
 from .request import Request
 
-__all__ = ["SchedulerConfig", "PROFILES", "profile_config"]
+__all__ = ["AdmissionGate", "SchedulerConfig", "PROFILES", "profile_config"]
 
 
 @dataclass(frozen=True)
@@ -141,3 +141,53 @@ class WaitingQueue:
 
     def next_arrival(self) -> Optional[float]:
         return self._heap[0][0] if self._heap else None
+
+
+class AdmissionGate:
+    """Memo of the last *blocked* admission probe at the queue head.
+
+    Admission is FCFS, so while the head of the waiting queue stays
+    blocked, nothing behind it is probed either -- and the whole queue
+    used to be re-probed (``begin_request`` + ``can_admit`` + ``release``,
+    including a full prefix-cache lookup) on *every* step.  The verdict,
+    however, is a pure function of the pool's page counts and the
+    sequence's length: the manager's ``admission_version()`` is a monotone
+    counter over exactly the events that change those counts, so an
+    unchanged ``(request_id, seq_len, version)`` triple means an unchanged
+    verdict and the probe can be skipped outright.
+
+    The recorded version is taken *after* the failed probe's release, so
+    the probe's own acquire/release churn (net-zero on pool counts, but
+    each transition publishes an event) does not immediately stale the
+    memo.  A version of ``-1`` (manager without an admission cache)
+    disables the gate.  Entries never need explicit expiry: versions are
+    monotone, so a stale triple simply never matches again.
+    """
+
+    def __init__(self) -> None:
+        self._request_id: Optional[str] = None
+        self._seq_len = -1
+        self._version = -1
+
+    def note_blocked(self, request_id: str, seq_len: int, version: int) -> None:
+        """Record a failed probe of ``request_id`` at pool ``version``."""
+        if version < 0:
+            self.clear()
+            return
+        self._request_id = request_id
+        self._seq_len = seq_len
+        self._version = version
+
+    def should_skip(self, request_id: str, seq_len: int, version: int) -> bool:
+        """Whether re-probing this head request is provably pointless."""
+        return (
+            version >= 0
+            and version == self._version
+            and request_id == self._request_id
+            and seq_len == self._seq_len
+        )
+
+    def clear(self) -> None:
+        self._request_id = None
+        self._seq_len = -1
+        self._version = -1

@@ -1,0 +1,353 @@
+"""Admission-bound cache tests: invalidation, memoization, cross-check.
+
+The cache (``repro.core.admission``) answers ``can_admit`` from an
+event-invalidated pool snapshot plus a per-request demand memo;
+``can_admit_uncached`` is the recompute-everything cross-check.  These
+tests pin down:
+
+* the invalidation contract -- every event class that moves pool counts
+  dirties the snapshot and bumps the version, everything else on the bus
+  leaves both untouched;
+* the ``PageAcquired`` regression -- a prefix-cache hit reactivates
+  evictable pages without allocating, and before the fix emitted nothing,
+  so the cached bound kept counting those pages as reclaimable (verified
+  failing with the emission removed);
+* the hypothesis property ``can_admit(...) == can_admit_uncached(...)``
+  at every step of randomized allocate/commit/release/append churn;
+* the engine's blocked-probe gate -- skipping a re-probe while the
+  version is unchanged must not change scheduling outcomes, and must
+  actually eliminate the per-step prefix-lookup rescans.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    EventBus,
+    LargePageCarved,
+    PageAcquired,
+    PageAllocated,
+    PageEvicted,
+    PageEvictedToHost,
+    PageReleased,
+    PrefixHit,
+    RequestAdmitted,
+    RequestQueued,
+    StepCompleted,
+)
+from repro.core.kv_manager import JengaKVCacheManager
+from repro.core.layer_policy import FULL_ATTENTION, GroupSpec, SLIDING_WINDOW
+from repro.core.sequence import TEXT, SequenceSpec
+from repro.engine import LLMEngine, Request, SchedulerConfig
+from repro.engine.scheduler import AdmissionGate
+from repro.models import get_model
+from repro.platforms import H100
+from repro.workloads import token_block
+
+T = frozenset({TEXT})
+
+
+def hetero_specs(tpp=4, window=8):
+    return {
+        "full": GroupSpec("full", FULL_ATTENTION, 2, 64, tokens_per_page=tpp,
+                          accepted_tags=T),
+        "win": GroupSpec("win", SLIDING_WINDOW, 2, 64, tokens_per_page=tpp,
+                         window=window, accepted_tags=T),
+    }
+
+
+def make_manager(total=64 * 4 * 64, caching=True, specs=None):
+    return JengaKVCacheManager(
+        specs or hetero_specs(), total, enable_prefix_caching=caching
+    )
+
+
+INVALIDATING_EVENTS = [
+    PageAllocated("full", "r", 1, 1),
+    LargePageCarved("full", 1, 4),
+    PageAcquired("full", 1, "r"),
+    PageEvicted("full", 1, "small"),
+    PageReleased("full", 1, True),
+]
+
+NON_INVALIDATING_EVENTS = [
+    PrefixHit("r", 0, 4),
+    PageEvictedToHost("full", 123, 256),
+    RequestQueued("r", 0.0),
+    RequestAdmitted("r", 0.0),
+    StepCompleted(0, 0.0, 0),
+]
+
+
+class TestInvalidation:
+    @pytest.mark.parametrize(
+        "event", INVALIDATING_EVENTS, ids=lambda e: type(e).__name__
+    )
+    def test_invalidating_event_dirties_snapshot(self, event):
+        mgr = make_manager()
+        cache = mgr._admission
+        cache.snapshot()
+        assert not cache.dirty
+        version = cache.version
+        mgr.events.emit(event)
+        assert cache.dirty
+        assert cache.version == version + 1
+
+    @pytest.mark.parametrize(
+        "event", NON_INVALIDATING_EVENTS, ids=lambda e: type(e).__name__
+    )
+    def test_non_invalidating_event_leaves_snapshot_clean(self, event):
+        mgr = make_manager()
+        cache = mgr._admission
+        cache.snapshot()
+        version = cache.version
+        mgr.events.emit(event)
+        assert not cache.dirty
+        assert cache.version == version
+
+    def test_snapshot_rebuilds_once_until_next_event(self):
+        mgr = make_manager()
+        cache = mgr._admission
+        seq = SequenceSpec.text_only("probe", list(range(24)))
+        mgr.can_admit(seq)
+        rebuilds = cache.num_rebuilds
+        for _ in range(5):
+            mgr.can_admit(seq)
+        assert cache.num_rebuilds == rebuilds  # no events, no rebuilds
+        mgr.events.emit(PageAllocated("full", "r", 1, 1))
+        mgr.can_admit(seq)
+        assert cache.num_rebuilds == rebuilds + 1
+
+    def test_bind_events_rehomes_invalidation(self):
+        """bind_events must move the subscription and distrust old state."""
+        mgr = make_manager()
+        cache = mgr._admission
+        cache.snapshot()
+        version = cache.version
+        new_bus = EventBus()
+        mgr.bind_events(new_bus)
+        assert cache.bus is new_bus
+        assert cache.dirty
+        assert cache.version > version
+        cache.snapshot()
+        new_bus.emit(PageAllocated("full", "r", 1, 1))
+        assert cache.dirty
+
+    def test_real_allocation_invalidates_through_the_allocator(self):
+        mgr = make_manager()
+        cache = mgr._admission
+        probe = SequenceSpec.text_only("probe", list(range(24)))
+        mgr.can_admit(probe)
+        assert not cache.dirty
+        seq = SequenceSpec.text_only("r1", list(range(16)))
+        mgr.begin_request(seq)
+        assert mgr.allocate_up_to(seq, 16)
+        assert cache.dirty
+
+
+class TestDemandMemo:
+    def test_probe_hits_memo_until_length_changes(self):
+        mgr = make_manager()
+        cache = mgr._admission
+        seq = SequenceSpec.text_only("r1", list(range(20)))
+        mgr.can_admit(seq)
+        misses = cache.num_demand_misses
+        hits = cache.num_demand_hits
+        for _ in range(4):
+            mgr.can_admit(seq)
+        assert cache.num_demand_misses == misses
+        assert cache.num_demand_hits == hits + 4
+        seq.append(999)  # new computed-length bucket
+        mgr.can_admit(seq)
+        assert cache.num_demand_misses == misses + 1
+
+    def test_memo_capacity_is_bounded(self):
+        mgr = make_manager()
+        cache = mgr._admission
+        cap = cache.DEMAND_CAPACITY
+        for i in range(cap + 10):
+            mgr.can_admit(SequenceSpec.text_only(f"r{i}", [1, 2, 3]))
+        assert len(cache._demand) <= cap
+
+
+class TestStaleBoundRegression:
+    def test_prefix_hit_reacquire_updates_admission_bounds(self):
+        """Prefix-hit reactivation (EVICTABLE -> USED) must invalidate.
+
+        ``acquire_cached`` pulls pages out of the evictor without any
+        allocation; before ``PageAcquired`` existed it emitted nothing,
+        so the cached snapshot kept counting the reacquired pages as
+        reclaimable and ``can_admit`` said yes to prompts the pool could
+        no longer host (verified failing with the emission removed).
+        """
+        specs = {
+            "full": GroupSpec("full", FULL_ATTENTION, 2, 64, tokens_per_page=4,
+                              accepted_tags=T),
+        }
+        # Exactly 16 small pages; the donor fills all of them.
+        mgr = make_manager(total=16 * 4 * 64, specs=specs)
+        donor = SequenceSpec.text_only("donor", list(range(64)))
+        mgr.begin_request(donor)
+        assert mgr.allocate_up_to(donor, 64)
+        mgr.commit(donor, 64, now=1.0, phase="prefill")
+        mgr.release(donor, cacheable=True)  # whole pool now evictable
+
+        probe = SequenceSpec.text_only("probe", list(range(1000, 1048)))
+        # Prime the snapshot while the evictable pool covers the demand.
+        assert mgr.can_admit(probe) is True
+        assert mgr.can_admit(probe) == mgr.can_admit_uncached(probe)
+
+        # Same-prefix request reacquires the cached pages: no allocation,
+        # no release -- only the EVICTABLE -> USED transition.  The hit is
+        # capped at len - 1 (one token must still be computed), so 15 of
+        # the 16 pages flip to USED.
+        reuser = SequenceSpec.text_only("reuser", list(range(64)))
+        hit = mgr.begin_request(reuser)
+        assert hit == 60
+        assert mgr.can_admit_uncached(probe) is False
+        assert mgr.can_admit(probe) == mgr.can_admit_uncached(probe)
+
+    def test_cache_index_displacement_updates_admission_bounds(self):
+        """Displacing a stale cached copy frees it outright; the freed
+        page must be published (``PageReleased(cached=False)``) or the
+        snapshot's free/evictable split goes stale.
+
+        A twin request recomputes a block the cache already holds (the
+        hit cap leaves the donor's last block unacquired), and its commit
+        re-registers the same hash -- the index displacement frees the
+        donor's old evictable copy without passing through release_page.
+        """
+        specs = {
+            "full": GroupSpec("full", FULL_ATTENTION, 2, 64, tokens_per_page=4,
+                              accepted_tags=T),
+        }
+        mgr = make_manager(total=16 * 4 * 64, specs=specs)
+        cache = mgr._admission
+        donor = SequenceSpec.text_only("donor", list(range(8)))
+        mgr.begin_request(donor)
+        assert mgr.allocate_up_to(donor, 8)
+        mgr.commit(donor, 8, now=1.0, phase="prefill")
+        mgr.release(donor, cacheable=True)  # both blocks cached+evictable
+
+        # The twin hits only block 0 (hit capped at len - 1 = 7 tokens)
+        # and recomputes block 1 on a fresh page.
+        twin = SequenceSpec.text_only("twin", list(range(8)))
+        assert mgr.begin_request(twin) == 4
+        assert mgr.allocate_up_to(twin, 8)
+
+        # Clean the snapshot after the allocation churn, so the only
+        # remaining invalidation source in commit() is the displacement.
+        probe = SequenceSpec.text_only("probe", list(range(1000, 1016)))
+        mgr.can_admit(probe)
+        assert not cache.dirty
+        mgr.commit(twin, 8, now=2.0, phase="prefill")
+        assert cache.dirty  # displacement published the freed page
+        assert mgr.can_admit(probe) == mgr.can_admit_uncached(probe)
+        mgr.allocator.check_invariants()
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.sampled_from(
+                    ["begin", "grow", "release_cached", "release_free", "append"]
+                ),
+            ),
+            max_size=40,
+        ),
+        watermark=st.integers(min_value=0, max_value=8),
+    )
+    def test_cached_equals_uncached_under_churn(self, ops, watermark):
+        mgr = make_manager(total=48 * 4 * 64)  # small pool: verdicts flip
+        seqs = {}
+        for i in range(6):
+            # Half the requests share a prefix so churn produces real
+            # prefix-cache hits (acquire_cached paths included).
+            base = list(range(32)) if i % 2 == 0 else list(range(100 * i, 100 * i + 24))
+            seqs[i] = SequenceSpec.text_only(f"r{i}", base + [1000 + i])
+        active = set()
+        now = 1.0
+
+        def check_all():
+            for seq in seqs.values():
+                for chunk in (64, 8192):
+                    assert mgr.can_admit(seq, watermark, chunk) == \
+                        mgr.can_admit_uncached(seq, watermark, chunk)
+
+        for i, op in ops:
+            seq = seqs[i]
+            if op == "begin" and i not in active:
+                mgr.begin_request(seq)
+                active.add(i)
+            elif op == "grow" and i in active:
+                if mgr.allocate_up_to(seq, len(seq)):
+                    mgr.commit(seq, len(seq), now=now, phase="prefill")
+                now += 1.0
+            elif op == "release_cached" and i in active:
+                mgr.release(seq, cacheable=True)
+                active.discard(i)
+            elif op == "release_free" and i in active:
+                mgr.release(seq, cacheable=False)
+                active.discard(i)
+            elif op == "append" and i not in active:
+                seq.append(2000 + len(seq))
+            check_all()
+        mgr.allocator.check_invariants()
+
+
+class TestAdmissionGate:
+    def test_matches_only_identical_triple(self):
+        gate = AdmissionGate()
+        assert not gate.should_skip("r1", 10, 5)
+        gate.note_blocked("r1", 10, 5)
+        assert gate.should_skip("r1", 10, 5)
+        assert not gate.should_skip("r1", 10, 6)   # pool moved
+        assert not gate.should_skip("r1", 11, 5)   # sequence grew
+        assert not gate.should_skip("r2", 10, 5)   # different head
+        gate.clear()
+        assert not gate.should_skip("r1", 10, 5)
+
+    def test_negative_version_disables_gate(self):
+        gate = AdmissionGate()
+        gate.note_blocked("r1", 10, -1)
+        assert not gate.should_skip("r1", 10, -1)
+
+    def test_engine_gate_skips_rescans_without_changing_schedule(self):
+        """With the gate, blocked heads stop re-probing every step -- and
+        scheduling outcomes stay identical to a gate-disabled run."""
+
+        class UngatedManager(JengaKVCacheManager):
+            def admission_version(self) -> int:
+                return -1  # never let the engine skip a probe
+
+        def build(manager_cls):
+            model = get_model("llama3-8b")
+            groups = model.kv_groups()
+            manager = manager_cls(groups, 192 * 1024 * 1024)
+            engine = LLMEngine(model, H100, manager,
+                               config=SchedulerConfig(max_num_seqs=4))
+            engine.add_requests([
+                Request.text(f"r{i}", token_block(0, "r", i, 640), 24)
+                for i in range(12)
+            ])
+            return engine
+
+        gated = build(JengaKVCacheManager)
+        ungated = build(UngatedManager)
+        gm = gated.run(max_steps=20_000)
+        um = ungated.run(max_steps=20_000)
+
+        assert len(gm.requests) == len(um.requests) == 12
+        order = lambda m: [r.request_id for r in m.requests]
+        assert order(gm) == order(um)
+        finish = lambda m: [r.finish_time for r in m.requests]
+        assert finish(gm) == finish(um)
+        assert len(gm.steps) == len(um.steps)
+
+        # The gate must actually fire: the gated run performs far fewer
+        # prefix lookups than one per (step x blocked head).
+        assert gated.manager.lookup_tokens < ungated.manager.lookup_tokens

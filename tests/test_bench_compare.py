@@ -1,0 +1,95 @@
+"""bench-compare: metric flattening, tolerance gate, calibration."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import collect_metrics, compare_metrics, main, render_markdown
+
+
+def payload(schedule_p50=60.0, churn64=3.0, queue100=0.5, adm64=1.3):
+    return {
+        "churn": {"sweep": [{"num_large_pages": 64, "p50_us": churn64}]},
+        "queue": {"sweep": [{"depth": 100, "p50_us": queue100}]},
+        "admission": {"sweep": [{"depth": 64, "cached": {"p50_us": adm64}}]},
+        "engine": {"phases": {"schedule": {"p50_us": schedule_p50}}},
+    }
+
+
+def test_collect_metrics_keys_embed_sweep_points():
+    metrics = collect_metrics(payload())
+    assert metrics == {
+        "churn/large=64/p50_us": 3.0,
+        "queue/depth=100/p50_us": 0.5,
+        "admission/depth=64/cached_p50_us": 1.3,
+        "engine/schedule/p50_us": 60.0,
+    }
+
+
+def test_only_overlapping_keys_compared():
+    base = collect_metrics(payload())
+    base["queue/depth=10000/p50_us"] = 0.6  # full-scale-only point
+    cur = collect_metrics(payload())
+    rows = compare_metrics(base, cur, tolerance=1.5)
+    assert {r.key for r in rows} == set(cur)
+    assert all(r.ok for r in rows)
+
+
+def test_regression_past_tolerance_fails():
+    base = collect_metrics(payload())
+    cur = collect_metrics(payload(schedule_p50=200.0))
+    rows = compare_metrics(base, cur, tolerance=1.5)
+    bad = [r for r in rows if not r.ok]
+    assert [r.key for r in bad] == ["engine/schedule/p50_us"]
+    assert bad[0].ratio == pytest.approx(200.0 / 60.0)
+
+
+def test_calibration_normalizes_uniform_slowdown():
+    base = collect_metrics(payload())
+    # A uniformly 2x slower machine: every metric doubles, including the
+    # calibration one -- no regression should be reported.
+    cur = {k: 2.0 * v for k, v in base.items()}
+    rows = compare_metrics(base, cur, tolerance=1.5,
+                           calibrate="churn/large=64/p50_us")
+    assert all(r.ok for r in rows)
+    # A real 3x regression on top of the 2x machine factor still fails.
+    cur["engine/schedule/p50_us"] = 6.0 * base["engine/schedule/p50_us"]
+    rows = compare_metrics(base, cur, tolerance=1.5,
+                           calibrate="churn/large=64/p50_us")
+    assert [r.key for r in rows if not r.ok] == ["engine/schedule/p50_us"]
+
+
+def test_calibration_metric_must_exist():
+    base = collect_metrics(payload())
+    with pytest.raises(KeyError):
+        compare_metrics(base, dict(base), tolerance=1.5, calibrate="nope")
+
+
+def test_markdown_summary_flags_regressions():
+    base = collect_metrics(payload())
+    cur = collect_metrics(payload(schedule_p50=200.0))
+    rows = compare_metrics(base, cur, tolerance=1.5)
+    md = render_markdown(rows, 1.5, None)
+    assert "**REGRESSION**" in md
+    assert "`engine/schedule/p50_us`" in md
+    assert "1 regression(s)" in md
+
+
+def test_cli_exit_codes_and_summary(tmp_path):
+    base_file = tmp_path / "base.json"
+    cur_file = tmp_path / "cur.json"
+    summary = tmp_path / "summary.md"
+    base_file.write_text(json.dumps(payload()))
+
+    cur_file.write_text(json.dumps(payload()))
+    assert main(["--baseline", str(base_file), "--current", str(cur_file)]) == 0
+
+    cur_file.write_text(json.dumps(payload(schedule_p50=200.0)))
+    rc = main(["--baseline", str(base_file), "--current", str(cur_file),
+               "--tolerance", "1.5", "--summary", str(summary)])
+    assert rc == 1
+    assert "**REGRESSION**" in summary.read_text()
+
+    # Disjoint payloads: nothing to compare is its own error.
+    cur_file.write_text(json.dumps({"engine": {"phases": {}}}))
+    assert main(["--baseline", str(base_file), "--current", str(cur_file)]) == 2
