@@ -73,6 +73,12 @@ def test_bench_allocator_smoke(benchmark):
             f"cached p50 {cell['cached']['p50_us']:.2f}us  "
             f"uncached p50 {cell['uncached']['p50_us']:.2f}us"
         )
+    for cell in payload["prefix"]["sweep"]:
+        lines.append(
+            f"prefix fanout={cell['fanout']:>4}  "
+            f"hit p50 {cell['hit']['p50_us']:.2f}us  "
+            f"miss p50 {cell['miss']['p50_us']:.2f}us"
+        )
     eng = payload["engine"]
     lines.append(
         f"engine {eng['steps']} steps  {eng['steps_per_sec']:,.0f} steps/s  "

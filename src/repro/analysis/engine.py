@@ -63,6 +63,9 @@ class Context:
         #: ``if`` statements whose *body* lexically encloses the current
         #: node (tests and else-branches are not covered by the guard).
         self.if_stack: List[ast.If] = []
+        #: ``for``/``while`` statements whose *body* lexically encloses
+        #: the current node (iterables, tests and else-branches are not).
+        self.loop_stack: List[ast.AST] = []
         self.findings: List[Finding] = []
 
     def report(self, rule: str, node: ast.AST, message: str) -> None:
@@ -165,6 +168,20 @@ class _Walker:
             for child in node.body:
                 self.walk(child)
             self._ctx.if_stack.pop()
+            for child in node.orelse:
+                self.walk(child)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._walk_fields(node, ("target", "iter"))
+            self._ctx.loop_stack.append(node)
+            self._walk_fields(node, ("body",))
+            self._ctx.loop_stack.pop()
+            self._walk_fields(node, ("orelse",))
+        elif isinstance(node, ast.While):
+            self.walk(node.test)
+            self._ctx.loop_stack.append(node)
+            for child in node.body:
+                self.walk(child)
+            self._ctx.loop_stack.pop()
             for child in node.orelse:
                 self.walk(child)
         else:

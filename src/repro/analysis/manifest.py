@@ -13,11 +13,13 @@ from typing import Dict, FrozenSet
 
 __all__ = [
     "AUDITED_SLOW_FUNCS",
+    "BATCHED_EVENTS",
     "EVENT_CLASSES",
     "GUARDED_COUNTERS",
     "HOT_CLASSES",
     "HOT_MODULES",
     "LIST_ATTRS",
+    "PER_TOKEN_HASH_FUNCS",
     "POOL_ATTRS",
     "PROBE_EXEMPT_MODULES",
     "PROTOCOL_CLASS",
@@ -37,6 +39,7 @@ HOT_MODULES: FrozenSet[str] = frozenset(
         "repro/core/free_pool.py",
         "repro/core/evictor.py",
         "repro/core/kv_alloc.py",
+        "repro/core/kv_prefix.py",
         "repro/core/admission.py",
         "repro/engine/scheduler.py",
     }
@@ -84,6 +87,7 @@ POOL_ATTRS: FrozenSet[str] = frozenset(
 EVENT_CLASSES: FrozenSet[str] = frozenset(
     {
         "PageAllocated",
+        "PagesAllocated",
         "LargePageCarved",
         "PageAcquired",
         "PageEvicted",
@@ -98,6 +102,22 @@ EVENT_CLASSES: FrozenSet[str] = frozenset(
         "StepCompleted",
     }
 )
+
+# -- rule: per-token-rehash ---------------------------------------------
+
+#: Full-stream hash helpers.  ``chain_hashes(stream, boundaries)`` folds
+#: the *entire* stream from scratch; on the lookup hot path that turns a
+#: one-block decode extension into an O(stream) rehash.  Hot modules must
+#: go through the memoized ``SequenceSpec.hash_chain`` instead (the
+#: incremental chain owned by the sequence); the from-scratch helper
+#: remains the property-test oracle.
+PER_TOKEN_HASH_FUNCS: FrozenSet[str] = frozenset({"chain_hashes"})
+
+#: Per-item events that have a batched equivalent.  Emitting the per-item
+#: form inside a loop publishes one dataclass per page where a single
+#: batched event would do; the allocator's batch paths must emit the
+#: right-hand event exactly once per call.
+BATCHED_EVENTS: Dict[str, str] = {"PageAllocated": "PagesAllocated"}
 
 # -- rule: unguarded-span -----------------------------------------------
 

@@ -9,6 +9,7 @@ from .event_bus import UnguardedEmitRule, UnguardedSpanRule
 from .hot_path import HotPathScanRule
 from .probes import DuckTypedProbeRule
 from .protocol import ProtocolConformanceRule
+from .rehash import PerTokenRehashRule
 from .state import DynamicAttrRule, GuardedCounterRule, WallClockRule
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "DynamicAttrRule",
     "GuardedCounterRule",
     "HotPathScanRule",
+    "PerTokenRehashRule",
     "ProtocolConformanceRule",
     "UnguardedEmitRule",
     "UnguardedSpanRule",
@@ -27,6 +29,7 @@ ALL_RULES: List[Type[Rule]] = [
     HotPathScanRule,
     UnguardedEmitRule,
     UnguardedSpanRule,
+    PerTokenRehashRule,
     ProtocolConformanceRule,
     DuckTypedProbeRule,
     GuardedCounterRule,

@@ -74,6 +74,13 @@ class DualManager(KVCacheManagerBase):
                 ok = False
         return ok
 
+    def needs_allocation(self, seq: SequenceSpec, target_global: int) -> bool:
+        # Sides are independent (allocate_up_to has no cross-side
+        # rollback), so skipping is safe exactly when every side would
+        # no-op.  allocate_pages stays the base-class None: the sides'
+        # group ids collide, so a composite batch has no unique target.
+        return any(m.needs_allocation(seq, target_global) for m in self.managers)
+
     def allocate_vision(self, seq: SequenceSpec) -> bool:
         return all(m.allocate_vision(seq) for m in self.managers)
 

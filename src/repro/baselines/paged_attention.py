@@ -128,6 +128,13 @@ class PagedAttentionManager(JengaKVCacheManager):
             self._mamba_churn += 1
         return super().allocate_up_to(seq, target_global)
 
+    def needs_allocation(self, seq: SequenceSpec, target_global: int) -> bool:
+        # A request without its Mamba slot must reach allocate_up_to (the
+        # slot is claimed there), even when no KV page is missing.
+        if self._mamba_slots and seq.request_id not in self._mamba_holders:
+            return True
+        return super().needs_allocation(seq, target_global)
+
     def can_allocate(self, seq: SequenceSpec, target_global: int) -> bool:
         if (
             self._mamba_slots

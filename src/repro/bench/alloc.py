@@ -51,6 +51,7 @@ __all__ = [
     "evictor_churn_bench",
     "queue_bench",
     "admission_bench",
+    "prefix_bench",
     "engine_bench",
 ]
 
@@ -343,6 +344,84 @@ def admission_bench(depth: int, rounds: int, seed: int = 0,
     }
 
 
+def prefix_bench(
+    fanout: int,
+    prefix_tokens: int = 1024,
+    seed: int = 0,
+    num_large: int = 256,
+    repeats: int = 3,
+    suffix_tokens: int = 32,
+) -> Dict:
+    """Prefix-heavy lookup sweep: long shared prefix, varying fan-out.
+
+    One seeder request deposits a ``prefix_tokens``-long prefix into the
+    cache (allocate, commit, release cacheable), then ``fanout`` requests
+    sharing that prefix plus a unique suffix each run
+    ``begin_request``/``release`` cycles.  Measures the *hit-path* lookup
+    latency (hash-chain memo + bounded probing + page acquisition) and,
+    for contrast, the *miss-path* latency of requests sharing nothing.
+    The model-wide hit is asserted to equal the full shared prefix on
+    every hit-path lookup, so the timings can never come from a lookup
+    that silently stopped matching.
+    """
+    from ..core.kv_manager import JengaKVCacheManager
+    from ..core.sequence import SequenceSpec
+
+    rng = random.Random(seed)
+    specs = {
+        name: GroupSpec(
+            name, kw["kind"], 1, kw["per_token_bytes"], tokens_per_page=4,
+            window=kw.get("window"), accepted_tags=_TEXT,
+        )
+        for name, kw in _GROUP_SPECS.items()
+    }
+    mgr = JengaKVCacheManager(
+        specs, _LARGE_PAGE_BYTES * num_large, enable_prefix_caching=True
+    )
+
+    prefix = [rng.randrange(1 << 30) for _ in range(prefix_tokens)]
+    seeder = SequenceSpec.text_only("seeder", prefix + [1])
+    mgr.begin_request(seeder)
+    if not mgr.allocate_up_to(seeder, len(seeder)):
+        raise RuntimeError("prefix_bench pool too small for the seed prefix")
+    mgr.commit(seeder, len(seeder), now=0.0, phase="prefill")
+    mgr.release(seeder, cacheable=True)
+
+    hit_lat: List[float] = []
+    miss_lat: List[float] = []
+    for i in range(fanout):
+        shared = SequenceSpec.text_only(
+            f"fan{i}",
+            prefix + [rng.randrange(1 << 30) for _ in range(suffix_tokens)],
+        )
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            hit = mgr.begin_request(shared)
+            hit_lat.append(time.perf_counter() - t0)
+            assert hit == prefix_tokens, (hit, prefix_tokens)
+            mgr.release(shared, cacheable=True)
+        stranger = SequenceSpec.text_only(
+            f"miss{i}",
+            [rng.randrange(1 << 30) for _ in range(prefix_tokens)],
+        )
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            hit = mgr.begin_request(stranger)
+            miss_lat.append(time.perf_counter() - t0)
+            assert hit == 0, hit
+            mgr.release(stranger, cacheable=False)
+
+    _assert_stats_equal(mgr.allocator)
+    mgr.allocator.check_invariants()
+    return {
+        "fanout": fanout,
+        "prefix_tokens": prefix_tokens,
+        "hit": {"count": len(hit_lat), **_percentiles(hit_lat)},
+        "miss": {"count": len(miss_lat), **_percentiles(miss_lat)},
+        "hit_rates": mgr.cache_hit_rates(),
+    }
+
+
 def engine_bench(
     num_requests: int, seed: int = 0, max_steps: int = 50_000, traced: bool = True
 ) -> Dict:
@@ -425,12 +504,16 @@ _FULL_SCALE = {
     "queue_ops": 20_000,
     "admission_depths": [64, 640],
     "admission_rounds": 8,
+    "prefix_fanouts": [4, 16, 64],
+    "prefix_tokens": 1024,
+    "prefix_repeats": 3,
     "engine_requests": 80,
 }
 # Smoke sweep points deliberately overlap the full-scale ones (queue depth
-# 100, admission depth 64, churn size 64): ``bench-compare`` matches
-# metrics by key, so a smoke run in CI can gate against the committed
-# full-scale baseline on the shared points.
+# 100, admission depth 64, churn size 64, prefix fanout 4 at the same
+# prefix length): ``bench-compare`` matches metrics by key, so a smoke run
+# in CI can gate against the committed full-scale baseline on the shared
+# points.
 _SMOKE_SCALE = {
     "churn_sizes": [16, 64],
     "churn_ops": 6_000,
@@ -440,6 +523,9 @@ _SMOKE_SCALE = {
     "queue_ops": 2_000,
     "admission_depths": [64, 160],
     "admission_rounds": 3,
+    "prefix_fanouts": [4],
+    "prefix_tokens": 1024,
+    "prefix_repeats": 3,
     "engine_requests": 8,
 }
 
@@ -513,6 +599,26 @@ def run_benchmark(
         / max(admission_sweep[0]["uncached_round"]["p50_us"], 1e-9)
     )
 
+    prefix_sweep = []
+    for fanout in knobs["prefix_fanouts"]:
+        say(f"[prefix] fanout {fanout}, "
+            f"{knobs['prefix_tokens']}-token shared prefix ...")
+        prefix_sweep.append(
+            prefix_bench(
+                fanout,
+                prefix_tokens=knobs["prefix_tokens"],
+                repeats=knobs["prefix_repeats"],
+                seed=seed,
+            )
+        )
+        row = prefix_sweep[-1]
+        say(f"    hit p50 {row['hit']['p50_us']:.2f}us  "
+            f"miss p50 {row['miss']['p50_us']:.2f}us")
+    prefix_scaling = (
+        prefix_sweep[-1]["hit"]["p50_us"]
+        / max(prefix_sweep[0]["hit"]["p50_us"], 1e-9)
+    )
+
     say(f"[engine] synthetic run, {knobs['engine_requests']} requests ...")
     engine = engine_bench(knobs["engine_requests"], seed=seed)
     say(f"    {engine['steps']} steps at {engine['steps_per_sec']:,.0f} steps/s  "
@@ -553,6 +659,14 @@ def run_benchmark(
             # The uncached per-round total is the linear rescan baseline
             # the cache replaces; it should track the depth ratio.
             "uncached_step_scaling_p50": admission_uncached_step_scaling,
+        },
+        "prefix": {
+            "sweep": prefix_sweep,
+            # Hit-path lookup p50 at the widest fan-out over the
+            # narrowest: ~1.0 means the memoized hash chain plus bounded
+            # probing keep the shared-prefix hit cost independent of how
+            # many requests reuse the prefix.
+            "hit_lookup_scaling_p50": prefix_scaling,
         },
         "engine": engine,
         "invariant_checkpoints": sum(

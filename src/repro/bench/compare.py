@@ -48,6 +48,10 @@ def collect_metrics(payload: Dict) -> Dict[str, float]:
     for cell in payload.get("admission", {}).get("sweep", []):
         key = f"admission/depth={cell['depth']}/cached_p50_us"
         metrics[key] = cell["cached"]["p50_us"]
+    for cell in payload.get("prefix", {}).get("sweep", []):
+        base = f"prefix/fanout={cell['fanout']}"
+        metrics[f"{base}/hit_p50_us"] = cell["hit"]["p50_us"]
+        metrics[f"{base}/miss_p50_us"] = cell["miss"]["p50_us"]
     for name, row in payload.get("engine", {}).get("phases", {}).items():
         metrics[f"engine/{name}/p50_us"] = row["p50_us"]
     return metrics

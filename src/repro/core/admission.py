@@ -50,6 +50,7 @@ from .events import (
     PageAllocated,
     PageEvicted,
     PageReleased,
+    PagesAllocated,
 )
 from .layer_policy import GroupSpec, LayerTypePolicy
 from .sequence import SequenceSpec
@@ -108,6 +109,7 @@ class AdmissionCache:
     #: free/evictable/fully-evictable accounting untouched.
     INVALIDATING: Tuple[Type[Event], ...] = (
         PageAllocated,
+        PagesAllocated,
         LargePageCarved,
         PageAcquired,
         PageEvicted,

@@ -8,7 +8,9 @@ five-step allocation decision (Section 5.4) and every eviction (Section 5)
 observable without print-debugging:
 
 * the allocator emits :class:`PageAllocated` tagged with the §5.4 step
-  (1-5) that satisfied it, :class:`LargePageCarved` when a large page is
+  (1-5) that satisfied it (or one :class:`PagesAllocated` per successful
+  batch call, carrying every page of the batch in a single record),
+  :class:`LargePageCarved` when a large page is
   carved from the LCM pool, :class:`PageEvicted` for small- and large-page
   evictions, :class:`PageReleased` when a request's last reference
   drops, and :class:`PageAcquired` when a prefix-cache hit reactivates an
@@ -35,6 +37,7 @@ __all__ = [
     "EventBus",
     "Event",
     "PageAllocated",
+    "PagesAllocated",
     "LargePageCarved",
     "PageAcquired",
     "PageEvicted",
@@ -83,6 +86,26 @@ class PageAllocated(Event):
     @property
     def step_name(self) -> str:
         return ALLOCATION_STEPS.get(self.step, f"step {self.step}")
+
+
+@dataclass(frozen=True)
+class PagesAllocated(Event):
+    """One batched ``allocate_pages`` call succeeded.
+
+    The batched counterpart of :class:`PageAllocated`: a single record per
+    call instead of one per page.  ``steps[i]`` is the §5.4 step that
+    satisfied ``page_ids[i]``.  Consumers that count pool mutations must
+    treat this as ``len(page_ids)`` allocations.
+    """
+
+    group_id: str
+    request_id: str
+    page_ids: Tuple[int, ...]
+    steps: Tuple[int, ...]
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_ids)
 
 
 @dataclass(frozen=True)

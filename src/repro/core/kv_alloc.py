@@ -10,7 +10,7 @@ vision-embedding pages, and answer the scheduler's capacity questions
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .admission import AdmissionCache
 from .kv_binding import BindingTableMixin, GroupBinding, policy_pages_to_write
@@ -66,18 +66,23 @@ class AllocationMixin(BindingTableMixin):
                 binding.page_table.extend(
                     [None] * (num_pages - len(binding.page_table))
                 )
-            for idx in indices:
-                if idx in binding.held and binding.page_table[idx] is not None:
-                    continue
-                page = self.allocator.allocate_page(group_id, seq.request_id)
-                if page is None:
+            missing = [
+                idx for idx in indices
+                if idx not in binding.held or binding.page_table[idx] is None
+            ]
+            if missing:
+                # One batched call for the whole write set: one event, one
+                # five-step dispatch per page only past the free bucket.
+                pages = self.allocator.allocate_pages(
+                    group_id, seq.request_id, len(missing)
+                )
+                if pages is None:
                     ok = False
                     break
-                binding.page_table[idx] = page.page_id
-                binding.held.add(idx)
-                newly.append((group_id, binding, idx))
-            if not ok:
-                break
+                for idx, page in zip(missing, pages):
+                    binding.page_table[idx] = page.page_id
+                    binding.held.add(idx)
+                    newly.append((group_id, binding, idx))
             binding.stream_len = target_stream
         if not ok:
             for group_id, binding, idx in newly:
@@ -88,6 +93,53 @@ class AllocationMixin(BindingTableMixin):
                     self.allocator.release_page(group_id, page_id, cacheable=False)
             return False
         return True
+
+    def allocate_pages(
+        self, group_id: str, request_id: str, n: int
+    ) -> Optional[List[int]]:
+        """Batch-allocate ``n`` pages of ``group_id`` (protocol surface).
+
+        Thin delegation to
+        :meth:`~repro.core.two_level.TwoLevelAllocator.allocate_pages`:
+        all-or-nothing, one :class:`~repro.core.events.PagesAllocated`
+        record per successful call.  Returns page ids in allocation order.
+        """
+        pages = self.allocator.allocate_pages(group_id, request_id, n)
+        if pages is None:
+            return None
+        return [page.page_id for page in pages]
+
+    def needs_allocation(self, seq: SequenceSpec, target_global: int) -> bool:
+        """Whether :meth:`allocate_up_to` would actually allocate anything.
+
+        Pure page-table inspection.  ``False`` lets the engine skip the
+        allocate call outright on decode steps that stay inside the current
+        block -- note ``binding.stream_len`` is deliberately *not* advanced
+        here, so fill/hash bookkeeping catches up on the next real
+        allocation (at most one page's worth of lag per group).
+        """
+        bindings = self._bindings.get(seq.request_id)
+        if bindings is None:
+            return True
+        for group_id, spec in self.specs.items():
+            binding = bindings[group_id]
+            target_stream = seq.stream_length(spec.accepted_tags, target_global)
+            if target_stream <= binding.stream_len:
+                continue
+            indices = policy_pages_to_write(
+                self.policies[group_id], binding.stream_len, target_stream
+            )
+            if spec.kind == MAMBA and 0 not in binding.held and 0 not in indices:
+                return True
+            table = binding.page_table
+            for idx in indices:
+                if (
+                    idx not in binding.held
+                    or idx >= len(table)
+                    or table[idx] is None
+                ):
+                    return True
+        return False
 
     def allocate_vision(self, seq: SequenceSpec) -> bool:
         """Allocate vision-embedding pages for *all* of ``seq``'s images.
@@ -113,16 +165,21 @@ class AllocationMixin(BindingTableMixin):
             if num_pages > len(binding.page_table):
                 binding.page_table.extend([None] * (num_pages - len(binding.page_table)))
             ok = True
-            for idx in indices:
-                if idx in binding.held and binding.page_table[idx] is not None:
-                    continue
-                page = self.allocator.allocate_page(group_id, seq.request_id)
-                if page is None:
+            missing = [
+                idx for idx in indices
+                if idx not in binding.held or binding.page_table[idx] is None
+            ]
+            if missing:
+                pages = self.allocator.allocate_pages(
+                    group_id, seq.request_id, len(missing)
+                )
+                if pages is None:
                     ok = False
-                    break
-                binding.page_table[idx] = page.page_id
-                binding.held.add(idx)
-                newly.append((group_id, binding, idx))
+                else:
+                    for idx, page in zip(missing, pages):
+                        binding.page_table[idx] = page.page_id
+                        binding.held.add(idx)
+                        newly.append((group_id, binding, idx))
             if not ok:
                 for gid, b, idx in newly:
                     page_id = b.page_table[idx]

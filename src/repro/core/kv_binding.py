@@ -43,10 +43,9 @@ class GroupBinding:
     filled_upto: int = 0  # stream tokens whose fill counts are recorded
     release_ptr: int = 0  # all held indices below this were released
     last_time: float = 0.0  # timestamp of the latest commit/touch
-    # Incremental hash-chain state.
-    hash_state: Optional[int] = None
-    hashed_upto: int = 0  # stream tokens folded into hash_state
-    hashed_blocks: int = 0  # cacheable blocks folded into hash_state
+    # Chain state lives on the sequence (SequenceSpec.hash_chain); the
+    # binding only tracks how many blocks it registered with the index.
+    hashed_blocks: int = 0  # cacheable blocks already registered
     last_checkpoint_page: Optional[int] = None  # mamba only
 
 

@@ -156,6 +156,15 @@ class JengaKVCacheManager(
                 events=self.events,
             )
         self.enable_prefix_caching = enable_prefix_caching
+        # Static probe order for the prefix-lookup path: leading-run groups
+        # (full/cross attention) first, vision groups excluded.  Computed
+        # once here; consulted on every lookup.
+        relevant = [
+            g for g, s in self.specs.items() if s.kind != VISION_EMBEDDING
+        ]
+        self._lookup_order: List[str] = [
+            g for g in relevant if self.policies[g].leading_run_only
+        ] + [g for g in relevant if not self.policies[g].leading_run_only]
         self._bindings: Dict[str, Dict[str, GroupBinding]] = {}
         self._stream_cache: Dict[Tuple[str, str], List[int]] = {}
         # Token-level prefix-cache accounting (Figure 17's metric).

@@ -17,13 +17,11 @@ from .kv_binding import BindingTableMixin, GroupBinding
 from .offload import HostMemoryPool
 from .layer_policy import LayerTypePolicy, MAMBA, VISION_EMBEDDING
 from .pages import SmallPage
-from .prefix_cache import chain_hashes, longest_common_prefix
+from .prefix_cache import longest_common_prefix
 from .sequence import SequenceSpec
 from .two_level import GroupAllocator
 
 __all__ = ["PrefixCacheMixin"]
-
-_HASH_SEED = 0x9E3779B97F4A7C15
 
 
 class PrefixCacheMixin(BindingTableMixin):
@@ -37,6 +35,7 @@ class PrefixCacheMixin(BindingTableMixin):
     events: EventBus
     enable_prefix_caching: bool
     host_pool: Optional[HostMemoryPool]
+    _lookup_order: List[str]
     lookup_tokens: int
     hit_tokens: int
     tracer: Optional[Any]
@@ -70,38 +69,77 @@ class PrefixCacheMixin(BindingTableMixin):
     def _lookup_and_acquire(
         self, seq: SequenceSpec, bindings: Dict[str, GroupBinding]
     ) -> int:
-        """Hash-chain lookup plus cached-page acquisition (the hit path)."""
+        """Hash-chain lookup plus cached-page acquisition (the hit path).
+
+        Probing is bounded by a running *cap* on the model-wide hit.
+        Vision-embedding groups never constrain the hit (embeddings are
+        inputs to prefill, refilled by the encoder when the uncached
+        remainder contains image tokens).  Leading-run groups
+        (full/cross attention) go first: their probe stops at the first
+        miss, and the resulting run caps how deep every later group needs
+        to hash and probe at all -- a total miss costs one dict probe per
+        leading-run group and zero for the rest, so the steady-state
+        lookup is O(hit-prefix blocks), not O(stream blocks).
+        """
+        specs = self.specs
+        ordered = self._lookup_order
         all_hashes: Dict[str, List[int]] = {}
         valid: Dict[str, List[int]] = {}
-        for group_id in self.specs:
-            if self.specs[group_id].kind == VISION_EMBEDDING:
-                # Embeddings are *inputs* to prefill, not dependencies of
-                # future tokens: a prefix whose KV is cached needs no
-                # embeddings, so the vision group never constrains the
-                # model-wide hit (it is refilled by the encoder when the
-                # uncached remainder contains image tokens).
+        host_pool = self.host_pool
+        cap_global = len(seq) - 1
+        for group_id in ordered:
+            if cap_global <= 0:
+                # An earlier group already ruled out any non-empty hit.
+                valid[group_id] = []
                 continue
             policy = self.policies[group_id]
+            group_tags = specs[group_id].accepted_tags
             stream = self._stream_of(seq, group_id)
-            boundaries = policy.cacheable_boundaries(len(stream))
-            hashes = chain_hashes(stream, boundaries)
-            group = self.allocator.groups[group_id]
-            if self.host_pool is not None:
+            stream_total = len(stream)
+            cap_stream = seq.stream_length(group_tags, cap_global)
+            boundaries = policy.cacheable_boundaries(min(stream_total, cap_stream))
+            # Memoized on the sequence: only never-hashed tokens fold, so a
+            # re-probe of a blocked or preempted request is pure dict work.
+            hashes = seq.hash_chain(
+                group_tags, policy.boundary_schedule(), stream, boundaries
+            )
+            index = self.allocator.groups[group_id].cache_index
+            if policy.leading_run_only:
+                is_hit: List[bool] = []
+                for h in hashes:
+                    hit = index.probe(h) is not None or (
+                        host_pool is not None and host_pool.probe(h) is not None
+                    )
+                    is_hit.append(hit)
+                    if not hit:
+                        break
+            elif host_pool is not None:
                 is_hit = [
-                    group.cache_index.probe(h) is not None
-                    or self.host_pool.probe(h) is not None
+                    index.probe(h) is not None or host_pool.probe(h) is not None
                     for h in hashes
                 ]
             else:
-                is_hit = [group.cache_index.probe(h) is not None for h in hashes]
+                is_hit = [index.probe(h) is not None for h in hashes]
             all_hashes[group_id] = hashes
-            valid[group_id] = policy.get_possible_prefix(is_hit)
+            prefixes = policy.get_possible_prefix(is_hit)
+            valid[group_id] = prefixes
+            # Any model-wide hit must keep this group's stream count within
+            # its largest valid prefix; shrink the cap accordingly.
+            v_max = max(prefixes) if prefixes else 0
+            if v_max >= stream_total:
+                upper = len(seq)
+            else:
+                upper = seq.global_prefix_for_stream(group_tags, v_max + 1) - 1
+            if upper < cap_global:
+                cap_global = upper
 
-        tags = {
-            g: s.accepted_tags for g, s in self.specs.items()
-            if s.kind != VISION_EMBEDDING
-        }
-        hit_global = longest_common_prefix(seq, valid, tags, max_global=len(seq) - 1)
+        if cap_global <= 0:
+            hit_global = 0
+        else:
+            tags = {g: specs[g].accepted_tags for g in ordered}
+            hit_global = longest_common_prefix(
+                seq, valid, tags, max_global=cap_global
+            )
         self.lookup_tokens += len(seq)
         if hit_global <= 0:
             if self.events.has_subscribers(PrefixHit):
@@ -121,8 +159,9 @@ class PrefixCacheMixin(BindingTableMixin):
             binding.filled_upto = cached_stream
             num_pages = policy.num_pages_for(cached_stream)
             binding.page_table = [None] * num_pages
-            stream = self._stream_of(seq, group_id)
-            boundaries = policy.cacheable_boundaries(len(stream))
+            # Only blocks at or below the hit matter here, so the boundary
+            # list (and the `covered` scan below) stops at ``cached_stream``.
+            boundaries = policy.cacheable_boundaries(cached_stream)
             hashes = all_hashes[group_id]
             needed = self._needed_hit_pages(policy, cached_stream, boundaries)
             for block_idx in needed:
@@ -149,10 +188,7 @@ class PrefixCacheMixin(BindingTableMixin):
                 if b > cached_stream:
                     break
                 covered += 1
-            if covered:
-                binding.hash_state = hashes[covered - 1]
-                binding.hashed_upto = boundaries[covered - 1]
-                binding.hashed_blocks = covered
+            binding.hashed_blocks = covered
             # Pages below the active frontier were never held.
             binding.release_ptr = self._frontier(policy, seq.request_id, cached_stream)
             if not ok:
@@ -204,13 +240,18 @@ class PrefixCacheMixin(BindingTableMixin):
         if len(boundaries) <= binding.hashed_blocks:
             return
         stream = self._stream_of(seq, group_id)
-        state = binding.hash_state if binding.hash_state is not None else _HASH_SEED
-        pos = binding.hashed_upto
+        # Decode-time extension rides the same memoized chain the lookup
+        # built: already-registered blocks cost a list index, new blocks
+        # fold only their own tokens.
+        hashes = seq.hash_chain(
+            self.specs[group_id].accepted_tags,
+            policy.boundary_schedule(),
+            stream,
+            boundaries,
+        )
         group = self.allocator.groups[group_id]
         for block_idx in range(binding.hashed_blocks, len(boundaries)):
-            boundary = boundaries[block_idx]
-            state = hash((state, tuple(stream[pos:boundary])))
-            pos = boundary
+            state = hashes[block_idx]
             idx = policy.page_index_of_block(block_idx)
             page_id = binding.page_table[idx] if idx in binding.held else None
             if page_id is not None:
@@ -225,8 +266,6 @@ class PrefixCacheMixin(BindingTableMixin):
                         binding.held.discard(idx)
                         self.allocator.release_page(group_id, page.page_id, cacheable=True)
                         binding.last_checkpoint_page = page.page_id
-        binding.hash_state = state
-        binding.hashed_upto = pos
         binding.hashed_blocks = len(boundaries)
 
     def _refresh_last_checkpoint(

@@ -149,6 +149,12 @@ class LayerTypePolicy:
     eviction-metadata setters.
     """
 
+    #: True when :meth:`get_possible_prefix` only ever returns an unbroken
+    #: leading run of boundaries (full/cross attention).  The lookup path
+    #: exploits this: probing such a group stops at its first miss, and
+    #: the run length caps how deep any later group needs to probe.
+    leading_run_only: bool = False
+
     def __init__(self, spec: GroupSpec) -> None:
         self.spec = spec
 
@@ -173,19 +179,36 @@ class LayerTypePolicy:
 
     # -- prefix caching: hashing geometry -------------------------------
 
-    def cacheable_boundaries(self, stream_len: int) -> List[int]:
+    def cacheable_boundaries(self, stream_len: int) -> Sequence[int]:
         """Stream-token counts at which a cacheable block completes.
 
         Block ``b`` of the group corresponds to the prefix ending at
         ``cacheable_boundaries(stream_len)[b]`` tokens; its content hash is
-        the chain hash at that boundary.
+        the chain hash at that boundary.  The default returns a lazy
+        ``range``: the lookup path calls this once per group per probe, so
+        materializing hundreds of boundary ints would dominate the
+        steady-state cost.
         """
         tpp = self.spec.tokens_per_page
-        return list(range(tpp, stream_len + 1, tpp))
+        return range(tpp, stream_len + 1, tpp)
 
     def page_index_of_block(self, block_idx: int) -> int:
         """Page-table slot storing cacheable block ``block_idx``."""
         return block_idx
+
+    def boundary_schedule(self) -> Tuple[str, int]:
+        """Memo key identifying this policy's boundary placement.
+
+        Two policies with equal schedules produce identical
+        :meth:`cacheable_boundaries` for every stream length, so their
+        streams can share one incrementally-extended hash chain
+        (:meth:`~repro.core.sequence.SequenceSpec.hash_chain`).  The
+        contract every schedule must honour is *append-only*:
+        ``cacheable_boundaries(m)`` is a prefix of
+        ``cacheable_boundaries(n)`` whenever ``m <= n``, so growing a
+        stream never moves or removes an already-hashed boundary.
+        """
+        return ("uniform", self.spec.tokens_per_page)
 
     # -- paper interface: customized cache hit ---------------------------
 
@@ -230,6 +253,8 @@ class LayerTypePolicy:
 
 class FullAttentionPolicy(LayerTypePolicy):
     """Standard self-attention: full-prefix dependency (PagedAttention rules)."""
+
+    leading_run_only = True
 
     def get_possible_prefix(self, is_hit: Sequence[bool]) -> List[int]:
         tpp = self.spec.tokens_per_page
@@ -279,10 +304,16 @@ class SlidingWindowPolicy(LayerTypePolicy):
         tpp = self.spec.tokens_per_page
         window = self.window
         prefixes: List[int] = []
-        for b in range(len(is_hit)):
+        # Single pass: ``run_start`` is the first block of the unbroken hit
+        # run ending at ``b``, so "[lo_block, b] all hit" is just a compare.
+        run_start = 0
+        for b, hit in enumerate(is_hit):
+            if not hit:
+                run_start = b + 1
+                continue
             p = (b + 1) * tpp
             lo_block = max(0, p - window) // tpp
-            if all(is_hit[j] for j in range(lo_block, b + 1)):
+            if run_start <= lo_block:
                 prefixes.append(p)
         return prefixes
 
@@ -385,6 +416,9 @@ class MambaPolicy(LayerTypePolicy):
 
     def page_index_of_block(self, block_idx: int) -> int:
         return block_idx + 1
+
+    def boundary_schedule(self) -> Tuple[str, int]:
+        return (self.spec.checkpoint_schedule, self.spec.checkpoint_interval)
 
     def boundary_of_block(self, block_idx: int) -> int:
         """Snapshot depth (stream tokens) of checkpoint ``block_idx``."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
-from .sequence import SequenceSpec, TokenTag
+from .sequence import HASH_SEED, SequenceSpec, TokenTag
 
 __all__ = [
     "chain_hashes",
@@ -25,7 +25,10 @@ __all__ = [
     "longest_common_prefix",
 ]
 
-_HASH_SEED = 0x9E3779B97F4A7C15
+# Seed lives on the sequence layer, which owns the memoized incremental
+# chains (SequenceSpec.hash_chain); chain_hashes is the from-scratch
+# reference fold over the same state machine.
+_HASH_SEED = HASH_SEED
 
 
 def chain_hashes(token_ids: Sequence[int], boundaries: Sequence[int]) -> List[int]:
@@ -60,6 +63,8 @@ class CachedBlockIndex:
         self._by_hash: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
+        self.probe_hits = 0
+        self.probe_misses = 0
 
     def __len__(self) -> int:
         return len(self._by_hash)
@@ -88,8 +93,19 @@ class CachedBlockIndex:
         return page_id
 
     def probe(self, block_hash: int) -> Optional[int]:
-        """Like :meth:`lookup` but without touching hit/miss counters."""
-        return self._by_hash.get(block_hash)
+        """Like :meth:`lookup` but counted separately.
+
+        Lookup-phase probes (``_lookup_and_acquire``) test candidacy
+        without committing to an acquire, so they are tallied apart from
+        :meth:`lookup`'s acquire-time counters -- but they are still
+        lookups, and :attr:`hit_rate` folds both in.
+        """
+        page_id = self._by_hash.get(block_hash)
+        if page_id is None:
+            self.probe_misses += 1
+        else:
+            self.probe_hits += 1
+        return page_id
 
     def remove(self, block_hash: int, page_id: Optional[int] = None) -> None:
         """Drop a cached block (its page was evicted or reused).
@@ -106,8 +122,10 @@ class CachedBlockIndex:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Hit fraction over *all* index consultations, probes included."""
+        hits = self.hits + self.probe_hits
+        total = hits + self.misses + self.probe_misses
+        return hits / total if total else 0.0
 
 
 def longest_common_prefix(

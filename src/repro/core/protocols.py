@@ -25,7 +25,7 @@ scheduler's capacity probes and ``stats`` the memory snapshot.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
 
 from .events import EventBus
 from .sequence import SequenceSpec
@@ -49,6 +49,29 @@ class KVCacheManager(Protocol):
 
     def allocate_up_to(self, seq: SequenceSpec, target_global: int) -> bool:
         """Back the first ``target_global`` tokens with pages (False: preempt)."""
+        ...
+
+    def allocate_pages(
+        self, group_id: str, request_id: str, n: int
+    ) -> Optional[List[int]]:
+        """Batch-allocate ``n`` pages of ``group_id``; one event per call.
+
+        Returns the allocated page ids in order, or ``None`` when the batch
+        cannot be satisfied whole (all-or-nothing, like the per-page path).
+        Backends without a batched allocator return ``None``
+        unconditionally and callers fall back to ``allocate_up_to``.
+        """
+        ...
+
+    def needs_allocation(self, seq: SequenceSpec, target_global: int) -> bool:
+        """Whether growing ``seq`` to ``target_global`` needs new pages.
+
+        A cheap page-table inspection (no allocator mutation): ``False``
+        means ``allocate_up_to(seq, target_global)`` would be a no-op, so
+        the engine may skip the call -- the decode fast path, where a page
+        boundary is crossed only once every ``tokens_per_page`` steps.
+        ``True`` is always a safe answer.
+        """
         ...
 
     def allocate_vision(self, seq: SequenceSpec) -> bool:
@@ -201,6 +224,17 @@ class KVCacheManagerBase:
         # A backend without an admission cache has nothing to cross-check:
         # its can_admit *is* the uncached path.
         return self.can_admit(seq, watermark_pages, chunk_tokens)
+
+    def allocate_pages(
+        self, group_id: str, request_id: str, n: int
+    ) -> Optional[List[int]]:
+        # No batched allocator by default; callers fall back to the
+        # per-page path behind allocate_up_to.
+        return None
+
+    def needs_allocation(self, seq: SequenceSpec, target_global: int) -> bool:
+        # Conservative default: always let allocate_up_to decide.
+        return True
 
     def admission_version(self) -> int:
         # -1: no cache, never skip a re-probe on this manager's account.

@@ -15,7 +15,11 @@ Performance note: the engine calls :meth:`SequenceSpec.stream_length` for
 every group of every running request on every step, and requests reach
 hundreds of thousands of tokens in the paper's long-context experiments,
 so the per-tag prefix-count caches are maintained *incrementally* across
-:meth:`append`/:meth:`extend` instead of being rebuilt.
+:meth:`append`/:meth:`extend` instead of being rebuilt.  The same applies
+to content hashing: :meth:`SequenceSpec.hash_chain` memoizes the chained
+block hashes per ``(accepted tags, boundary schedule)`` stream, so a
+prefix lookup or decode-time extension hashes only tokens it has never
+hashed before instead of the whole stream.
 """
 
 from __future__ import annotations
@@ -24,11 +28,37 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["TokenTag", "SequenceSpec", "TEXT", "IMAGE"]
+__all__ = ["TokenTag", "SequenceSpec", "TEXT", "IMAGE", "HASH_SEED"]
 
 TokenTag = str
 TEXT: TokenTag = "text"
 IMAGE: TokenTag = "image"
+
+#: Seed state for chained content hashing (see ``prefix_cache.chain_hashes``).
+HASH_SEED = 0x9E3779B97F4A7C15
+
+#: Memo key: the accepted-tag stream plus the policy's boundary schedule
+#: (e.g. ``("uniform", 16)`` or ``("exponential", 512)``).  Policies with
+#: identical keys share one chain, so a model whose attention groups all
+#: use the same page size hashes each stream once per request lifetime.
+ChainKey = Tuple[FrozenSet[TokenTag], Tuple[str, int]]
+
+
+class _HashChain:
+    """Append-only chained hashes over one stream's cacheable boundaries.
+
+    ``hashes[i]`` covers stream tokens ``[0, bounds[i])`` and chains
+    ``hashes[i-1]``; ``state`` is the fold state after the last boundary.
+    Valid only while the underlying sequence grows append-only -- the
+    owning :class:`SequenceSpec` drops chains on :meth:`~SequenceSpec.truncate`.
+    """
+
+    __slots__ = ("hashes", "bounds", "state")
+
+    def __init__(self) -> None:
+        self.hashes: List[int] = []
+        self.bounds: List[int] = []
+        self.state: int = HASH_SEED
 
 
 @dataclass
@@ -57,6 +87,9 @@ class SequenceSpec:
         default_factory=dict, repr=False, compare=False
     )
     _tag_set: Set[TokenTag] = field(default_factory=set, repr=False, compare=False)
+    _hash_chains: Dict[ChainKey, _HashChain] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.token_ids) != len(self.tags):
@@ -121,6 +154,7 @@ class SequenceSpec:
             (s, min(e, num_tokens)) for s, e in self.image_spans if s < num_tokens
         ]
         self._prefix_counts.clear()
+        self._hash_chains.clear()
         self._tag_set = set(self.tags)
 
     # ------------------------------------------------------------------
@@ -184,6 +218,59 @@ class SequenceSpec:
         if stream_len > counts[-1]:
             raise ValueError("stream_len beyond stream")
         return bisect.bisect_left(counts, stream_len)
+
+    def hash_chain(
+        self,
+        accepted: FrozenSet[TokenTag],
+        schedule: Tuple[str, int],
+        stream: Sequence[int],
+        boundaries: Sequence[int],
+    ) -> List[int]:
+        """Chained content hashes at ``boundaries``, memoized incrementally.
+
+        Equivalent to ``chain_hashes(stream, boundaries)`` but amortized:
+        the chain for ``(accepted, schedule)`` persists across calls, so
+        only boundaries past the previously hashed frontier fold new
+        tokens.  Callers pass the stream they derived ``boundaries`` from
+        (``stream_tokens(accepted)`` or a cached copy); ``schedule`` is the
+        policy's :meth:`~repro.core.layer_policy.LayerTypePolicy.boundary_schedule`,
+        whose append-only guarantee makes the memo sound -- a shorter
+        stream's boundaries are always a prefix of a longer one's.
+
+        The returned list is shared with the memo when it covers the whole
+        chain; treat it as read-only.
+        """
+        n = len(boundaries)
+        chain = self._hash_chains.get((accepted, schedule))
+        if chain is None:
+            chain = _HashChain()
+            self._hash_chains[(accepted, schedule)] = chain
+        count = len(chain.hashes)
+        # Spot-check the append-only contract on the last shared boundary;
+        # a drifted schedule falls back to a from-scratch rebuild.
+        probe = min(n, count)
+        if probe and chain.bounds[probe - 1] != boundaries[probe - 1]:
+            chain = _HashChain()
+            self._hash_chains[(accepted, schedule)] = chain
+            count = 0
+        if n > count:
+            state = chain.state
+            pos = chain.bounds[-1] if chain.bounds else 0
+            for boundary in boundaries[count:]:
+                if boundary <= pos:
+                    raise ValueError(
+                        f"boundaries must be increasing, got {list(boundaries)}"
+                    )
+                if boundary > len(stream):
+                    raise ValueError(
+                        f"boundary {boundary} beyond stream of {len(stream)} tokens"
+                    )
+                state = hash((state, tuple(stream[pos:boundary])))
+                chain.hashes.append(state)
+                chain.bounds.append(boundary)
+                pos = boundary
+            chain.state = state
+        return chain.hashes if n == len(chain.hashes) else chain.hashes[:n]
 
     def image_span_of(self, global_index: int) -> Optional[int]:
         """Index of the image whose span contains ``global_index``."""

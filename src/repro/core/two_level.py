@@ -39,6 +39,7 @@ from .events import (
     PageAllocated,
     PageEvicted,
     PageReleased,
+    PagesAllocated,
 )
 from .evictor import LRUEvictor
 from .free_pool import FreePool
@@ -148,6 +149,22 @@ class GroupAllocator:
         page_id = self.free_pool.pop(request_id)
         return None if page_id is None else self.pages[page_id]
 
+    def pop_free_batch(self, request_id: Optional[str], n: int) -> List[SmallPage]:
+        """Pop up to ``n`` request-associated empty pages in one call.
+
+        The batched step-1 fast path of
+        :meth:`TwoLevelAllocator.allocate_pages`: a long prefill drains its
+        own free bucket here without re-entering the five-step dispatch per
+        page.
+        """
+        popped: List[SmallPage] = []
+        while len(popped) < n:
+            page_id = self.free_pool.pop(request_id)
+            if page_id is None:
+                break
+            popped.append(self.pages[page_id])
+        return popped
+
     def pop_free_any(self) -> Optional[SmallPage]:
         """Pop any empty page regardless of association (step 4)."""
         page_id = self.free_pool.pop_any()
@@ -225,8 +242,67 @@ class TwoLevelAllocator:
         Returns ``None`` when every step fails (all memory pinned by running
         requests); the caller must preempt.
         """
-        group = self.groups[group_id]
+        taken = self._allocate_one(self.groups[group_id], request_id)
+        if taken is None:
+            return None
+        page, step = taken
+        if self.events is not None and self.events.has_subscribers(PageAllocated):
+            self.events.emit(PageAllocated(group_id, request_id, page.page_id, step))
+        return page
 
+    def allocate_pages(
+        self, group_id: str, request_id: str, n: int
+    ) -> Optional[List[SmallPage]]:
+        """Allocate ``n`` small pages of ``group_id`` in one batched call.
+
+        All-or-nothing: on success returns the ``n`` activated pages (in
+        allocation order) and publishes exactly one
+        :class:`~repro.core.events.PagesAllocated` record for the whole
+        batch; when any page cannot be found the pages taken so far are
+        released back (their :class:`~repro.core.events.PageReleased`
+        records keep event-driven caches honest) and ``None`` is returned.
+        ``n <= 0`` is a no-op returning an empty list.
+
+        Request-associated empty pages (step 1) are drained via one
+        :meth:`GroupAllocator.pop_free_batch` call before the per-page
+        five-step dispatch takes over for the remainder.
+        """
+        group = self.groups[group_id]
+        taken: List[SmallPage] = []
+        steps: List[int] = []
+        if n > 0 and self.request_aware:
+            for page in group.pop_free_batch(request_id, n):
+                taken.append(self._activate(group, page, request_id))
+                steps.append(1)
+        while len(taken) < n:
+            result = self._allocate_one(group, request_id)
+            if result is None:
+                for page in reversed(taken):
+                    self.release_page(group_id, page.page_id, cacheable=False)
+                return None
+            taken.append(result[0])
+            steps.append(result[1])
+        if taken and self.events is not None and self.events.has_subscribers(
+            PagesAllocated
+        ):
+            self.events.emit(PagesAllocated(
+                group_id,
+                request_id,
+                tuple(page.page_id for page in taken),
+                tuple(steps),
+            ))
+        return taken
+
+    def _allocate_one(
+        self, group: GroupAllocator, request_id: str
+    ) -> Optional[Tuple[SmallPage, int]]:
+        """Run the five-step algorithm once; returns (page, step).
+
+        Emission of the allocation record is left to the caller so the
+        batched path can publish one event per call instead of per page
+        (eviction and carve records still fire here -- they are pool
+        mutations in their own right).
+        """
         if not self.request_aware:
             # Ablation mode (§4.3): naive first-fit over any empty small
             # page, tagged step=0 so event analytics never conflate it
@@ -235,17 +311,17 @@ class TwoLevelAllocator:
             # only re-probe the pool this just proved empty).
             page = group.pop_free_any()
             if page is not None:
-                return self._took(group, page, request_id, step=0)
+                return self._activate(group, page, request_id), 0
         else:
             # Step 1: request-associated empty small page.
             page = group.pop_free(request_id)
             if page is not None:
-                return self._took(group, page, request_id, step=1)
+                return self._activate(group, page, request_id), 1
 
         # Step 2: carve a fresh large page.
         if self.lcm.has_free():
             page = self._carve_and_take(group, request_id)
-            return self._took(group, page, request_id, step=2)
+            return self._activate(group, page, request_id), 2
 
         # Step 3: evict a fully-evictable large page (any group's).
         if len(self.large_evictor):
@@ -260,12 +336,12 @@ class TwoLevelAllocator:
                     victim_group, victim_id, "large", last_access, prefix_length
                 ))
             page = self._carve_and_take(group, request_id)
-            return self._took(group, page, request_id, step=3)
+            return self._activate(group, page, request_id), 3
 
         # Step 4: any empty small page of this group.
         page = group.pop_free_any()
         if page is not None:
-            return self._took(group, page, request_id, step=4)
+            return self._activate(group, page, request_id), 4
 
         # Step 5: evict an evictable small page of this group.
         if len(group.evictor):
@@ -275,22 +351,12 @@ class TwoLevelAllocator:
             group.note_eviction()
             if self.events is not None and self.events.has_subscribers(PageEvicted):
                 self.events.emit(PageEvicted(
-                    group_id, victim_id, "small", last_access, prefix_length
+                    group.spec.group_id, victim_id, "small", last_access,
+                    prefix_length
                 ))
-            return self._took(group, victim, request_id, step=5)
+            return self._activate(group, victim, request_id), 5
 
         return None
-
-    def _took(
-        self, group: GroupAllocator, page: SmallPage, request_id: str, step: int
-    ) -> SmallPage:
-        """Activate ``page`` and publish which §5.4 step satisfied the need."""
-        page = self._activate(group, page, request_id)
-        if self.events is not None and self.events.has_subscribers(PageAllocated):
-            self.events.emit(PageAllocated(
-                group.spec.group_id, request_id, page.page_id, step
-            ))
-        return page
 
     def _carve_and_take(self, group: GroupAllocator, request_id: str) -> SmallPage:
         large = self.lcm.allocate(group.spec.group_id)

@@ -192,10 +192,13 @@ class LLMEngine:
                 # May have been preempted as an eviction victim earlier in
                 # this same loop (we iterate a snapshot of running).
                 continue
-            ok, npre = self._allocate_or_preempt(request, request.total_len, scheduled_set)
-            step_preemptions += npre
-            if not ok:
-                continue
+            if self.manager.needs_allocation(request.seq, request.total_len):
+                ok, npre = self._allocate_or_preempt(
+                    request, request.total_len, scheduled_set
+                )
+                step_preemptions += npre
+                if not ok:
+                    continue
             scheduled.append((request, 1))
             scheduled_set.add(request.request_id)
             decode_batch += 1

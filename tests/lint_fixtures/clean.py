@@ -14,6 +14,14 @@ class PageEvicted:
         self.page_id = page_id
 
 
+class PagesAllocated:
+    def __init__(self, group_id, request_id, page_ids, steps):
+        self.group_id = group_id
+        self.request_id = request_id
+        self.page_ids = page_ids
+        self.steps = steps
+
+
 class Meter:
     def counter(self, name, value):
         return None
@@ -47,6 +55,26 @@ class GroupAllocator:
     def forward(self, event):
         # Pre-built event objects carry no construction cost here.
         self.events.emit(event)
+
+    def allocate_batch(self, group_id, request_id, pages):
+        taken = []
+        for page in pages:
+            taken.append(page)
+        # One batched record after the loop, not one per page.
+        if self.events is not None and self.events.has_subscribers(PagesAllocated):
+            self.events.emit(PagesAllocated(group_id, request_id, tuple(taken), ()))
+        return taken
+
+    def replay(self, backlog):
+        for event in backlog:
+            # Forwarding pre-built events in a loop constructs nothing
+            # per item; only per-item *construction* is a rehash smell.
+            self.events.emit(event)
+
+    def hashes_for(self, seq, tags, schedule, stream, boundaries):
+        # The memoized incremental chain is the sanctioned hot-path hash;
+        # only the from-scratch chain_hashes helper is flagged here.
+        return seq.hash_chain(tags, schedule, stream, boundaries)
 
     def check_ordering(self):
         assert sorted(self.queue) == self.queue

@@ -31,6 +31,7 @@ from repro.core.events import (
     PageEvicted,
     PageEvictedToHost,
     PageReleased,
+    PagesAllocated,
     PrefixHit,
     RequestAdmitted,
     RequestQueued,
@@ -65,6 +66,7 @@ def make_manager(total=64 * 4 * 64, caching=True, specs=None):
 
 INVALIDATING_EVENTS = [
     PageAllocated("full", "r", 1, 1),
+    PagesAllocated("full", "r", (1, 2, 3), (1, 1, 2)),
     LargePageCarved("full", 1, 4),
     PageAcquired("full", 1, "r"),
     PageEvicted("full", 1, "small"),
@@ -144,6 +146,24 @@ class TestInvalidation:
         mgr.begin_request(seq)
         assert mgr.allocate_up_to(seq, 16)
         assert cache.dirty
+
+    def test_batched_allocation_invalidates_like_singles(self):
+        """One PagesAllocated must leave admission in the same state as
+        the n PageAllocated events the batch replaced."""
+        singles = make_manager()
+        batched = make_manager()
+        probe = SequenceSpec.text_only("probe", list(range(24)))
+        assert singles.can_admit(probe) == batched.can_admit(probe)
+        for _ in range(3):
+            assert singles.allocator.allocate_page("full", "r") is not None
+        pages = batched.allocator.allocate_pages("full", "r", 3)
+        assert pages is not None and len(pages) == 3
+        assert singles._admission.dirty
+        assert batched._admission.dirty
+        # Rebuilt snapshots must agree: same pool state, same verdicts.
+        assert singles.can_admit(probe) == batched.can_admit(probe)
+        assert (singles.allocator.stats().free_bytes
+                == batched.allocator.stats().free_bytes)
 
 
 class TestDemandMemo:

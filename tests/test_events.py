@@ -5,6 +5,7 @@ from repro.core.events import (
     EventBus,
     LargePageCarved,
     PageAllocated,
+    PagesAllocated,
     PageEvicted,
     PageReleased,
     PrefixHit,
@@ -203,38 +204,44 @@ class TestFiveStepTrace:
     def test_allocation_steps_fire_in_paper_order(self):
         mgr, a = self.stage()
         trace = []
-        mgr.events.subscribe(trace.append, [PageAllocated, PageEvicted, LargePageCarved])
+        mgr.events.subscribe(
+            trace.append, [PagesAllocated, PageEvicted, LargePageCarved]
+        )
 
         for _ in range(7):  # grow A one "full" page per call
             a.extend(range(len(a), len(a) + 4))
             assert mgr.allocate_up_to(a, len(a))
 
-        allocs = [ev for ev in trace if isinstance(ev, PageAllocated)]
-        assert [ev.step for ev in allocs] == [1, 2, 1, 3, 1, 4, 5]
+        # allocate_up_to batches: one PagesAllocated per call, whose steps
+        # record the §5.4 step satisfying each page of the batch.
+        allocs = [ev for ev in trace if isinstance(ev, PagesAllocated)]
+        steps = [step for ev in allocs for step in ev.steps]
+        assert steps == [1, 2, 1, 3, 1, 4, 5]
         assert all(ev.request_id == "A" and ev.group_id == "full" for ev in allocs)
+        assert all(len(ev.page_ids) == len(ev.steps) == 1 for ev in allocs)
 
         # First occurrences walk the algorithm top to bottom.
-        first_seen = list(dict.fromkeys(ev.step for ev in allocs))
+        first_seen = list(dict.fromkeys(steps))
         assert first_seen == [1, 2, 3, 4, 5]
 
-        # The full interleaving: carves precede their step-2/3 allocations
-        # and evictions precede the allocation they make room for.
+        # The full interleaving: carves and evictions fire inside the
+        # batch, before the PagesAllocated record they make room for.
         shapes = [
-            (type(ev).__name__, getattr(ev, "step", getattr(ev, "level", None)))
+            (type(ev).__name__, getattr(ev, "steps", getattr(ev, "level", None)))
             for ev in trace
         ]
         assert shapes == [
-            ("PageAllocated", 1),
+            ("PagesAllocated", (1,)),
             ("LargePageCarved", None),
-            ("PageAllocated", 2),
-            ("PageAllocated", 1),
+            ("PagesAllocated", (2,)),
+            ("PagesAllocated", (1,)),
             ("PageEvicted", "large"),
             ("LargePageCarved", None),
-            ("PageAllocated", 3),
-            ("PageAllocated", 1),
-            ("PageAllocated", 4),
+            ("PagesAllocated", (3,)),
+            ("PagesAllocated", (1,)),
+            ("PagesAllocated", (4,)),
             ("PageEvicted", "small"),
-            ("PageAllocated", 5),
+            ("PagesAllocated", (5,)),
         ]
 
         # Eviction events carry the victim's two-key LRU priority.
@@ -285,7 +292,7 @@ class TestEngineEvents:
         assert mgr.events is bus and mgr.allocator.events is bus
         eng.add_requests([Request.text("r0", token_block(0, "r", 0, 64), 2)])
         eng.run()
-        assert bus.counts["PageAllocated"] > 0
+        assert bus.counts["PagesAllocated"] > 0
         assert bus.counts["StepCompleted"] == len(eng.steps)
 
     def test_collector_rebuilds_counters_from_events(self):

@@ -18,6 +18,7 @@ BAD_FIXTURES = {
     "bad_protocol.py": "protocol-conformance",
     "bad_probe.py": "duck-typed-probe",
     "bad_guarded_counter.py": "guarded-counter",
+    "bad_per_token_rehash.py": "per-token-rehash",
     "bad_wall_clock.py": "wall-clock",
     "bad_dynamic_attr.py": "dynamic-attr",
 }

@@ -81,10 +81,39 @@ class TestCachedBlockIndex:
         assert idx.hits == 1 and idx.misses == 1
         assert idx.hit_rate == 0.5
 
-    def test_probe_does_not_count(self):
+    def test_probe_does_not_count_as_lookup(self):
         idx = CachedBlockIndex()
         idx.probe(5)
         assert idx.misses == 0
+        assert idx.probe_misses == 1
+
+    def test_probe_counters(self):
+        idx = CachedBlockIndex()
+        idx.insert(1, 1)
+        idx.probe(1)
+        idx.probe(2)
+        idx.probe(2)
+        assert idx.probe_hits == 1
+        assert idx.probe_misses == 2
+
+    def test_hit_rate_folds_probes(self):
+        # 1 lookup hit + 1 probe hit out of 4 total touches.
+        idx = CachedBlockIndex()
+        idx.insert(1, 1)
+        idx.lookup(1)
+        idx.lookup(2)
+        idx.probe(1)
+        idx.probe(3)
+        assert idx.hit_rate == 0.5
+
+    def test_hit_rate_probe_only(self):
+        # Lookup-phase counters stay zero; probes alone drive the rate.
+        idx = CachedBlockIndex()
+        idx.insert(1, 1)
+        idx.probe(1)
+        idx.probe(2)
+        assert idx.hits == 0 and idx.misses == 0
+        assert idx.hit_rate == 0.5
 
 
 class TestLongestCommonPrefix:

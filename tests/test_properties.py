@@ -341,3 +341,77 @@ class TestPhysicalSafetyProperties:
                 if page is not None:
                     live.append((op, page))
             alloc.check_no_physical_overlap()
+
+
+class TestHashChainMemo:
+    """The memoized incremental chain must equal from-scratch hashing."""
+
+    SCHEDULES = [("uniform", 2), ("uniform", 4), ("exponential", 2)]
+
+    @staticmethod
+    def _boundaries(schedule, stream_len):
+        kind, param = schedule
+        if kind == "uniform":
+            return list(range(param, stream_len + 1, param))
+        out, pos = [], param
+        while pos <= stream_len:
+            out.append(pos)
+            pos *= 2
+        return out
+
+    @given(
+        initial=st.lists(st.integers(0, 7), max_size=10),
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("append"),
+                    st.lists(st.integers(0, 7), min_size=1, max_size=6),
+                ),
+                # A fork replays a shorter prefix with a fresh
+                # continuation: truncate models the divergence point.
+                st.tuples(st.just("fork"), st.integers(0, 24)),
+                st.tuples(st.just("query"), st.sampled_from(SCHEDULES)),
+                # Capped query: the lookup path passes only the
+                # boundaries below its hit cap, never the full schedule.
+                st.tuples(st.just("cap"), st.sampled_from(SCHEDULES)),
+            ),
+            max_size=40,
+        ),
+        cap=st.integers(0, 12),
+    )
+    @settings(max_examples=60)
+    def test_incremental_chain_matches_from_scratch(self, initial, ops, cap):
+        tags = frozenset({TEXT})
+        seq = SequenceSpec.text_only("r", list(initial))
+        for op, arg in ops:
+            if op == "append":
+                seq.extend(arg)
+                continue
+            if op == "fork":
+                seq.truncate(min(arg, len(seq)))
+                seq.append(99)  # diverging continuation
+                continue
+            stream = seq.stream_tokens(tags)
+            boundaries = self._boundaries(arg, len(stream))
+            if op == "cap":
+                boundaries = boundaries[:cap]
+            got = seq.hash_chain(tags, arg, stream, boundaries)
+            assert list(got) == chain_hashes(stream, boundaries)
+        stream = seq.stream_tokens(tags)
+        for schedule in self.SCHEDULES:
+            boundaries = self._boundaries(schedule, len(stream))
+            got = seq.hash_chain(tags, schedule, stream, boundaries)
+            assert list(got) == chain_hashes(stream, boundaries)
+
+    @given(st.lists(st.integers(0, 7), min_size=4, max_size=24))
+    def test_chain_survives_decode_growth(self, tokens):
+        """Token-by-token growth (the decode path) extends in place."""
+        tags = frozenset({TEXT})
+        seq = SequenceSpec.text_only("r", tokens[:4])
+        schedule = ("uniform", 2)
+        for tok in tokens[4:]:
+            seq.append(tok)
+            stream = seq.stream_tokens(tags)
+            boundaries = list(range(2, len(stream) + 1, 2))
+            got = seq.hash_chain(tags, schedule, stream, boundaries)
+            assert list(got) == chain_hashes(stream, boundaries)

@@ -315,3 +315,88 @@ class TestRequestAwareAblation:
         assert p2.page_id == p1.page_id
         assert p2.large_page_id == anchor.large_page_id
         assert alloc.lcm.num_allocated == 1
+
+
+class TestBatchedAllocation:
+    def test_batch_emits_exactly_one_event(self):
+        from repro.core.events import EventBus, PageAllocated, PagesAllocated
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, [PageAllocated, PagesAllocated])
+        alloc = make_allocator(num_large=4, events=bus)
+        pages = alloc.allocate_pages("a", "r1", 5)
+        assert pages is not None and len(pages) == 5
+        batch_events = [e for e in seen if isinstance(e, PagesAllocated)]
+        assert len(batch_events) == 1
+        assert not any(isinstance(e, PageAllocated) for e in seen)
+        ev = batch_events[0]
+        assert ev.num_pages == 5
+        assert ev.page_ids == tuple(p.page_id for p in pages)
+        assert len(ev.steps) == 5
+
+    def test_batch_matches_singles(self):
+        one_by_one = make_allocator(num_large=4)
+        batched = make_allocator(num_large=4)
+        singles = [one_by_one.allocate_page("a", "r1") for _ in range(6)]
+        batch = batched.allocate_pages("a", "r1", 6)
+        assert all(p is not None for p in singles)
+        assert batch is not None
+        assert [p.page_id for p in singles] == [p.page_id for p in batch]
+        assert (one_by_one.stats().free_bytes == batched.stats().free_bytes)
+        one_by_one.check_invariants()
+        batched.check_invariants()
+
+    def test_batch_is_all_or_nothing(self):
+        from repro.core.events import EventBus, PageReleased
+
+        bus = EventBus()
+        released = []
+        bus.subscribe(released.append, [PageReleased])
+        alloc = make_allocator(num_large=1, events=bus)  # 3 'a' slots total
+        before_free = alloc.stats().free_bytes
+        assert alloc.allocate_pages("a", "r1", 4) is None
+        # Partial takes were rolled back (non-cacheably) ...
+        assert all(not ev.cached for ev in released)
+        # ... leaving the pool exactly where it started.
+        assert alloc.stats().free_bytes == before_free
+        fast, slow = alloc.stats(), alloc.stats_slow()
+        assert fast.used_bytes_by_group == slow.used_bytes_by_group
+        alloc.check_invariants()
+
+    def test_empty_batch_is_a_noop(self):
+        from repro.core.events import EventBus, PagesAllocated
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, [PagesAllocated])
+        alloc = make_allocator(events=bus)
+        assert alloc.allocate_pages("a", "r1", 0) == []
+        assert seen == []
+
+    def test_batch_steps_follow_paper_order(self):
+        alloc = make_allocator(num_large=2)
+        from repro.core.events import EventBus, PagesAllocated
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, [PagesAllocated])
+        alloc.events = bus
+        pages = alloc.allocate_pages("a", "r1", 4)
+        assert pages is not None
+        (ev,) = seen
+        # First page carves (step 2), later ones drain the request's own
+        # free slots (step 1), spilling into a second carve when the
+        # first large page fills.
+        assert ev.steps[0] == 2
+        assert set(ev.steps) <= {1, 2}
+
+    def test_batch_stats_match_slow_recount(self):
+        alloc = make_allocator(num_large=4)
+        for rid, n in (("r1", 3), ("r2", 2), ("r1", 2)):
+            alloc.allocate_pages("a", rid, n)
+        fast, slow = alloc.stats(), alloc.stats_slow()
+        assert fast.used_bytes_by_group == slow.used_bytes_by_group
+        assert fast.free_bytes == slow.free_bytes
+        alloc.check_invariants()
+        alloc.check_no_physical_overlap()
