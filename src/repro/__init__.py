@@ -64,6 +64,7 @@ from .engine import (
 from .models import ModelSpec, get_model, list_models
 from .obs import BusTelemetry, TelemetryRegistry, Tracer
 from .platforms import GPU, H100, L4, kv_budget
+from .serving import Replica, Router, ServingCluster
 
 __version__ = "1.0.0"
 
@@ -87,9 +88,12 @@ __all__ = [
     "MultiModelEngine",
     "OffloadConfig",
     "PagedAttentionManager",
+    "Replica",
     "Request",
+    "Router",
     "SchedulerConfig",
     "SequenceSpec",
+    "ServingCluster",
     "SpecDecodeEngine",
     "TelemetryRegistry",
     "Tracer",

@@ -42,6 +42,9 @@ HOT_MODULES: FrozenSet[str] = frozenset(
         "repro/core/kv_prefix.py",
         "repro/core/admission.py",
         "repro/engine/scheduler.py",
+        # The router runs once per request on the serving dispatch path;
+        # shadow probes must stay dict-indexed and block hashes memoized.
+        "repro/serving/router.py",
     }
 )
 
@@ -99,6 +102,7 @@ EVENT_CLASSES: FrozenSet[str] = frozenset(
         "RequestPreempted",
         "RequestFinished",
         "RequestFailed",
+        "RequestRouted",
         "StepCompleted",
     }
 )
@@ -202,5 +206,7 @@ HOT_CLASSES: FrozenSet[str] = frozenset(
         "WaitingQueue",
         "AdmissionCache",
         "AdmissionGate",
+        "Router",
+        "ReplicaShadow",
     }
 )

@@ -24,6 +24,10 @@ corrupted allocator:
 * **engine** -- a full synthetic serving run (continuous batching,
   prefix caching, preemption) under memory pressure, reporting wall-clock
   steps/sec and p50/p99 step latency.
+* **routing** -- a multi-replica :class:`~repro.serving.cluster.ServingCluster`
+  sweep over forked-prefix workloads: prefix hit rate, preemptions, and
+  step latency per routing policy (round_robin / least_loaded /
+  cache_aware), plus a replica-count scaling table.
 
 Run via ``python benchmarks/bench_allocator.py [--smoke]`` or
 ``python -m repro.cli bench-alloc``; both write ``BENCH_alloc.json``.
@@ -53,6 +57,7 @@ __all__ = [
     "admission_bench",
     "prefix_bench",
     "engine_bench",
+    "routing_bench",
 ]
 
 _TEXT = frozenset({TEXT})
@@ -495,6 +500,96 @@ def engine_bench(
     return result
 
 
+def routing_bench(
+    fanout: int,
+    num_replicas: int = 4,
+    num_families: int = 6,
+    policies: tuple = ("round_robin", "least_loaded", "cache_aware"),
+    prefix_tokens: int = 512,
+    suffix_tokens: int = 32,
+    output_tokens: int = 16,
+    rate: float = 8.0,
+    seed: int = 0,
+) -> Dict:
+    """Multi-replica routing sweep: policy vs. prefix locality.
+
+    ``num_families`` shared prefixes fork into ``fanout`` requests each,
+    interleaved family-by-family and given Poisson arrivals, then served
+    by an N-replica :class:`~repro.serving.cluster.ServingCluster` once
+    per policy.  ``num_families`` should not divide ``num_replicas``
+    evenly, otherwise round_robin pins families to replicas by accident
+    and the cache_aware comparison degenerates.
+
+    Reported per policy: cluster prefix hit rate, preemptions, simulated
+    tokens/s-per-replica (deterministic), wall-clock engine-step p50/p99
+    (the CI-gated metric), and router decision p50.
+    """
+    from ..engine.scheduler import profile_config as _profile
+    from ..serving import ServingCluster
+    from ..workloads import poisson_arrivals, token_block
+
+    model = get_model("gemma2-9b")
+    kv_bytes = kv_budget(model, L4).kv_bytes // 4
+
+    def build_requests() -> List[Request]:
+        requests = []
+        for j in range(fanout):
+            for family in range(num_families):
+                prefix = token_block(seed, f"family{family}", 0, prefix_tokens)
+                suffix = token_block(
+                    seed + 1, f"fam{family}-sfx{j}", j, suffix_tokens
+                )
+                requests.append(
+                    Request.text(f"j{j:03d}-f{family}", prefix + suffix,
+                                 output_tokens)
+                )
+        poisson_arrivals(requests, rate=rate, seed=seed)
+        return requests
+
+    rows: Dict[str, Dict] = {}
+    for policy in policies:
+        cluster = ServingCluster.build(
+            model, L4, kv_bytes, num_replicas,
+            policy=policy, config=_profile("vllm"), seed=seed,
+        )
+        cluster.submit(build_requests())
+        step_lat: List[float] = []
+        while True:
+            t0 = time.perf_counter()
+            tag = cluster.step()
+            if tag is None:
+                break
+            if tag == "step":
+                step_lat.append(time.perf_counter() - t0)
+        summary = cluster.summary()
+        for replica in cluster.replicas:
+            _assert_stats_equal(replica.manager.allocator)
+            replica.manager.allocator.check_invariants()
+        cluster.close()
+        assert summary.finished == fanout * num_families, summary
+        route_pcts = _percentiles(cluster.router.route_seconds)
+        step_pcts = _percentiles(step_lat)
+        rows[policy] = {
+            "finished": summary.finished,
+            "hit_rate": summary.prefix_hit_rate,
+            "preemptions": summary.preemptions,
+            "steps": len(step_lat),
+            "step_p50_us": step_pcts["p50_us"],
+            "step_p99_us": step_pcts["p99_us"],
+            "route_p50_us": route_pcts["p50_us"],
+            "tokens_per_sec_per_replica": summary.tokens_per_sec_per_replica,
+            "expected_hit_tokens": summary.expected_hit_tokens,
+            "routed_counts": list(summary.routed_counts),
+        }
+    return {
+        "fanout": fanout,
+        "num_replicas": num_replicas,
+        "num_families": num_families,
+        "requests": fanout * num_families,
+        "policies": rows,
+    }
+
+
 _FULL_SCALE = {
     "churn_sizes": [64, 256, 1024],
     "churn_ops": 60_000,
@@ -508,6 +603,10 @@ _FULL_SCALE = {
     "prefix_tokens": 1024,
     "prefix_repeats": 3,
     "engine_requests": 80,
+    "routing_fanouts": [4, 16],
+    "routing_replicas": 4,
+    "routing_families": 6,
+    "routing_scaling_replicas": [2, 4],
 }
 # Smoke sweep points deliberately overlap the full-scale ones (queue depth
 # 100, admission depth 64, churn size 64, prefix fanout 4 at the same
@@ -527,6 +626,12 @@ _SMOKE_SCALE = {
     "prefix_tokens": 1024,
     "prefix_repeats": 3,
     "engine_requests": 8,
+    # Overlaps the full-scale routing sweep at fanout 4 (same replica and
+    # family counts), so the CI gate compares like against like.
+    "routing_fanouts": [4],
+    "routing_replicas": 4,
+    "routing_families": 6,
+    "routing_scaling_replicas": [2],
 }
 
 
@@ -619,6 +724,45 @@ def run_benchmark(
         / max(prefix_sweep[0]["hit"]["p50_us"], 1e-9)
     )
 
+    routing_sweep = []
+    for fanout in knobs["routing_fanouts"]:
+        say(f"[routing] fanout {fanout}, {knobs['routing_replicas']} replicas, "
+            f"{knobs['routing_families']} prefix families ...")
+        routing_sweep.append(
+            routing_bench(
+                fanout,
+                num_replicas=knobs["routing_replicas"],
+                num_families=knobs["routing_families"],
+                seed=seed,
+            )
+        )
+        for policy, row in routing_sweep[-1]["policies"].items():
+            say(f"    {policy:<12} hit {row['hit_rate']:.3f}  "
+                f"preempt {row['preemptions']:3d}  "
+                f"step p50 {row['step_p50_us']:.1f}us  "
+                f"route p50 {row['route_p50_us']:.2f}us  "
+                f"{row['tokens_per_sec_per_replica']:,.0f} tok/s/replica")
+
+    routing_scaling = []
+    for count in knobs["routing_scaling_replicas"]:
+        say(f"[routing-scale] cache_aware, {count} replicas ...")
+        cell = routing_bench(
+            knobs["routing_fanouts"][0],
+            num_replicas=count,
+            num_families=knobs["routing_families"],
+            policies=("cache_aware",),
+            seed=seed,
+        )
+        row = cell["policies"]["cache_aware"]
+        routing_scaling.append({
+            "num_replicas": count,
+            "hit_rate": row["hit_rate"],
+            "tokens_per_sec_per_replica": row["tokens_per_sec_per_replica"],
+            "step_p50_us": row["step_p50_us"],
+        })
+        say(f"    hit {row['hit_rate']:.3f}  "
+            f"{row['tokens_per_sec_per_replica']:,.0f} tok/s/replica")
+
     say(f"[engine] synthetic run, {knobs['engine_requests']} requests ...")
     engine = engine_bench(knobs["engine_requests"], seed=seed)
     say(f"    {engine['steps']} steps at {engine['steps_per_sec']:,.0f} steps/s  "
@@ -667,6 +811,13 @@ def run_benchmark(
             # probing keep the shared-prefix hit cost independent of how
             # many requests reuse the prefix.
             "hit_lookup_scaling_p50": prefix_scaling,
+        },
+        "routing": {
+            "sweep": routing_sweep,
+            # cache_aware hit rate and normalized throughput as the
+            # replica count grows (per-replica pools shrink the workload's
+            # locality footprint per GPU; pinned families keep hits flat).
+            "replica_scaling": routing_scaling,
         },
         "engine": engine,
         "invariant_checkpoints": sum(

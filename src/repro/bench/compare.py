@@ -5,8 +5,8 @@ the committed full-scale baseline.  Scales differ, so payloads are first
 flattened into ``metric-key -> value`` maps (:func:`collect_metrics`) and
 only the *overlapping* keys are compared -- the smoke sweep points are
 chosen to overlap the full-scale ones (churn ``large=64``, queue
-``depth=100``, admission ``depth=64``, every engine phase) exactly so
-this works.
+``depth=100``, admission ``depth=64``, routing ``fanout=4``, every engine
+phase) exactly so this works.
 
 Absolute microseconds differ across machines; two mitigations:
 
@@ -54,6 +54,10 @@ def collect_metrics(payload: Dict) -> Dict[str, float]:
         metrics[f"{base}/miss_p50_us"] = cell["miss"]["p50_us"]
     for name, row in payload.get("engine", {}).get("phases", {}).items():
         metrics[f"engine/{name}/p50_us"] = row["p50_us"]
+    for cell in payload.get("routing", {}).get("sweep", []):
+        for policy, row in sorted(cell.get("policies", {}).items()):
+            key = f"routing/fanout={cell['fanout']}/{policy}/step_p50_us"
+            metrics[key] = row["step_p50_us"]
     return metrics
 
 

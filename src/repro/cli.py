@@ -248,6 +248,13 @@ def cmd_bench_alloc(args) -> int:
     admission = payload["admission"]["cached_probe_scaling_p50"]
     print(f"scaling ratios (p50 largest/smallest): churn {churn:.2f}, "
           f"queue {queue:.2f}, admission cached {admission:.2f}")
+    for cell in payload["routing"]["sweep"]:
+        rates = "  ".join(
+            f"{policy} {row['hit_rate']:.3f}"
+            for policy, row in cell["policies"].items()
+        )
+        print(f"routing hit rates (fanout {cell['fanout']}, "
+              f"{cell['num_replicas']} replicas): {rates}")
     return 0
 
 

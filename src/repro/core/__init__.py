@@ -7,6 +7,7 @@ from .events import (
     ALLOCATION_STEPS,
     Event,
     EventBus,
+    EventFanout,
     LargePageCarved,
     PageAllocated,
     PageEvicted,
@@ -65,6 +66,7 @@ __all__ = [
     "DroppedTokenPolicy",
     "Event",
     "EventBus",
+    "EventFanout",
     "FULL_ATTENTION",
     "FullAttentionPolicy",
     "GroupBinding",

@@ -35,6 +35,7 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, 
 
 __all__ = [
     "EventBus",
+    "EventFanout",
     "Event",
     "PageAllocated",
     "PagesAllocated",
@@ -339,3 +340,73 @@ class EventBus:
         """Drop the ring buffer and counters (subscribers stay registered)."""
         self._ring.clear()
         self.counts.clear()
+
+
+class EventFanout(EventBus):
+    """A bus view that multicasts every event to a set of member buses.
+
+    Shared-allocator deployments (``MultiModelEngine`` shared mode, the
+    serving tier's co-tenant replicas) have one :class:`TwoLevelAllocator`
+    observed by N manager views, each wrapping engine owning its *own*
+    per-engine bus.  The allocator holds a single ``events`` reference, so
+    without a fan-out the last ``bind_events`` wins and every sibling's
+    :class:`~repro.core.admission.AdmissionCache` silently stops receiving
+    pool-event invalidations.  Installing an ``EventFanout`` as the
+    allocator's bus gives every bound view the full pool feed while each
+    engine's request-lifecycle traffic stays on its own bus.
+
+    The fan-out is itself an :class:`EventBus` (direct subscribers and the
+    interest cache work as usual) but captures nothing locally by default:
+    members own the ring buffers.  :meth:`has_subscribers` unions member
+    interest so the emit-guard fast path stays exact -- an event type
+    nobody on any member bus listens to is still never constructed.
+    """
+
+    def __init__(self, *members: "EventBus") -> None:
+        super().__init__(capacity=0)
+        self._members: List[EventBus] = []
+        for member in members:
+            self.attach(member)
+
+    @property
+    def members(self) -> Tuple["EventBus", ...]:
+        return tuple(self._members)
+
+    def has_subscribers(self, event_type: Type[Event]) -> bool:
+        if super().has_subscribers(event_type):
+            return True
+        return any(m.has_subscribers(event_type) for m in self._members)
+
+    def emit(self, event: Event) -> None:
+        super().emit(event)
+        for member in self._members:
+            member.emit(event)
+
+    def attach(self, member: "EventBus") -> None:
+        """Add ``member`` to the multicast set (idempotent)."""
+        if member is self:
+            raise ValueError("EventFanout cannot contain itself")
+        if not any(m is member for m in self._members):
+            self._members.append(member)
+
+    def detach(self, member: "EventBus") -> bool:
+        """Remove ``member``; return whether it was attached."""
+        before = len(self._members)
+        self._members = [m for m in self._members if m is not member]
+        return len(self._members) < before
+
+    def replace(self, old: Optional["EventBus"], new: "EventBus") -> None:
+        """Swap ``old`` for ``new`` in place (bind-time rebinding).
+
+        Unknown ``old`` (or ``None``) degrades to :meth:`attach`, so a
+        manager rebinding onto a fresh bus never loses its pool feed.
+        """
+        if old is not None:
+            for i, member in enumerate(self._members):
+                if member is old:
+                    if any(m is new for m in self._members):
+                        del self._members[i]
+                    else:
+                        self._members[i] = new
+                    return
+        self.attach(new)

@@ -284,15 +284,19 @@ class AllocationMixin(BindingTableMixin):
         paths against each other under randomized churn.
         """
         cache = self._admission
-        bus = self.allocator.events
-        if bus is None:
-            # No bus, no invalidation signal: fall back to the full
-            # recompute rather than trusting a snapshot nothing dirties.
+        # The manager's own bus carries every pool event: a private
+        # allocator emits on it directly, a shared allocator's EventFanout
+        # multicasts onto it.  (The allocator-side bus is the wrong key
+        # here -- on a shared pool it is the fan-out, not this view's bus.)
+        bus = self.events
+        if bus is None or self.allocator.events is None:
+            # No invalidation signal reaches the cache: fall back to the
+            # full recompute rather than trusting a snapshot nothing
+            # dirties.
             return self.can_admit_uncached(seq, watermark_pages, chunk_tokens)
         if cache.bus is not bus:
-            # bind_events swapped the manager's bus, or another manager
-            # rebound a shared allocator; resubscribe before trusting
-            # anything cached.
+            # bind_events swapped the manager's bus underneath the cache;
+            # resubscribe before trusting anything cached.
             cache.bind(bus)
         snap = cache.snapshot()
         entry = cache.demand(seq, self.specs, self.policies)
@@ -329,8 +333,8 @@ class AllocationMixin(BindingTableMixin):
         a blocked head-of-queue request entirely.  Returns ``-1`` (never
         skip) when the allocator has no bus to publish invalidations on.
         """
-        bus = self.allocator.events
-        if bus is None:
+        bus = self.events
+        if bus is None or self.allocator.events is None:
             return -1
         cache = self._admission
         if cache.bus is not bus:

@@ -56,7 +56,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from .admission import AdmissionCache
-from .events import EventBus
+from .events import EventBus, EventFanout
 from .kv_alloc import AllocationMixin, ideal_resident_bytes
 from .kv_binding import BindingTableMixin, GroupBinding, policy_pages_to_write
 from .kv_prefix import PrefixCacheMixin
@@ -105,8 +105,9 @@ class JengaKVCacheManager(
             bus is created when omitted (the engine rebinds managers onto
             its own via :meth:`bind_events`).
         shared_allocator: Multi-model serving (Section 6.1): several
-            managers, one page pool.  All managers sharing an allocator
-            share its event bus.
+            managers, one page pool.  The pool's events fan out to every
+            sharing manager's own bus (see
+            :class:`~repro.core.events.EventFanout`).
     """
 
     name = "jenga"
@@ -135,12 +136,17 @@ class JengaKVCacheManager(
                 g: shared_allocator.groups[g].policy for g in self.specs
             }
             self.allocator = shared_allocator
-            # One pool, one bus: the first manager installs its bus on the
-            # allocator, later views adopt it (unless given one explicitly).
-            if events is None and shared_allocator.events is not None:
-                self.events = shared_allocator.events
-            else:
-                shared_allocator.events = self.events
+            # One pool, many views: the allocator's bus is a fan-out over
+            # every bound view's own bus, so pool events (and with them
+            # each view's AdmissionCache invalidation) reach all siblings
+            # while each manager keeps its private per-engine bus.  A
+            # pre-existing plain bus on the allocator stays attached as a
+            # fan-out member, preserving its feed.
+            sink = shared_allocator.events
+            if not isinstance(sink, EventFanout):
+                sink = EventFanout() if sink is None else EventFanout(sink)
+                shared_allocator.events = sink
+            sink.attach(self.events)
         else:
             self.policies = {
                 g: make_policy(s, enable_prefix_caching=enable_prefix_caching, seed=seed)
@@ -180,13 +186,23 @@ class JengaKVCacheManager(
             self.allocator.eviction_listener = self._on_gpu_eviction
         # Admission-bound cache: event-invalidated pool snapshot plus
         # per-request demand memo behind can_admit (see repro.core.admission).
-        self._admission = AdmissionCache(self.allocator, self.allocator.events)
+        self._admission = AdmissionCache(self.allocator, self.events)
 
     def bind_events(self, events: EventBus) -> None:
-        """Adopt ``events`` for this manager, its allocator, and the
-        admission cache's invalidation subscription."""
+        """Adopt ``events`` for this manager view.
+
+        On a shared allocator the pool bus is an
+        :class:`~repro.core.events.EventFanout`; this view's old bus is
+        swapped for ``events`` inside it, leaving every sibling's feed (and
+        admission invalidation) intact.  A privately-owned allocator simply
+        follows the manager onto the new bus.
+        """
+        sink = self.allocator.events
+        if isinstance(sink, EventFanout):
+            sink.replace(self.events, events)
+        else:
+            self.allocator.events = events
         self.events = events
-        self.allocator.events = events
         self._admission.bind(events)
 
     # ------------------------------------------------------------------
@@ -276,6 +292,12 @@ class JengaKVCacheManager(
 
     def stats(self) -> AllocatorStats:
         return self.allocator.stats()
+
+    def owned_groups(self) -> frozenset:
+        """This view's groups -- the shared allocator covers the union of
+        all co-tenant models' groups, but this manager drives (and should
+        be charged for) only its own subset."""
+        return frozenset(self.specs)
 
     @property
     def has_vision_cache(self) -> bool:

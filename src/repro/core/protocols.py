@@ -25,7 +25,7 @@ scheduler's capacity probes and ``stats`` the memory snapshot.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+from typing import Any, Dict, FrozenSet, List, Optional, Protocol, runtime_checkable
 
 from .events import EventBus
 from .sequence import SequenceSpec
@@ -127,6 +127,16 @@ class KVCacheManager(Protocol):
 
     def stats(self) -> AllocatorStats:
         """Point-in-time memory accounting."""
+        ...
+
+    def owned_groups(self) -> FrozenSet[str]:
+        """Group ids this manager view owns within its allocator.
+
+        On a shared allocator, :meth:`stats` reports pool-wide accounting;
+        consumers attributing per-group bytes to one engine filter
+        ``used_bytes_by_group`` down to this set.  Empty means "all of
+        them" (a privately-owned pool needs no filtering).
+        """
         ...
 
     def take_onload_bytes(self, request_id: str) -> int:
@@ -251,6 +261,11 @@ class KVCacheManagerBase:
 
     def take_onload_bytes(self, request_id: str) -> int:
         return 0
+
+    def owned_groups(self) -> FrozenSet[str]:
+        # Empty set == "no filtering": a backend that owns its whole pool
+        # reports every group as its own.
+        return frozenset()
 
     def cache_hit_rates(self) -> Dict[str, float]:
         return {}

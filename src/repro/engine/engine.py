@@ -525,8 +525,18 @@ class LLMEngine:
 
     def _memory_snapshot(self) -> MemorySnapshot:
         stats = self.manager.stats()
+        # On a shared allocator stats() covers the whole pool; charge this
+        # engine only for its manager's own groups (mirroring
+        # MultiModelEngine.memory_report) so Figure-16 snapshots don't
+        # double-count co-tenants.  The scalar fields stay pool-wide: free
+        # and evictable capacity genuinely is shared headroom.
+        owned = self.manager.owned_groups()
+        used = {
+            g: b for g, b in stats.used_bytes_by_group.items()
+            if not owned or g in owned
+        }
         return MemorySnapshot(
-            used_by_group=dict(stats.used_bytes_by_group),
+            used_by_group=used,
             evictable_bytes=stats.evictable_bytes,
             waste_bytes=stats.waste_bytes,
             free_bytes=stats.free_bytes,

@@ -77,6 +77,9 @@ class MultiModelEngine:
         shared: ``True`` (default) pools memory through one LCM allocator;
             ``False`` statically splits it proportionally to each model's
             per-token KV size (the MuxServe-style baseline).
+        tokens_per_page: Small-page granularity, plumbed identically
+            through both modes so shared vs. static comparisons never
+            silently run different page sizes.
     """
 
     def __init__(
@@ -87,6 +90,7 @@ class MultiModelEngine:
         shared: bool = True,
         config: Optional[SchedulerConfig] = None,
         enable_prefix_caching: bool = True,
+        tokens_per_page: int = 16,
     ) -> None:
         if not models:
             raise ValueError("at least one model deployment is required")
@@ -97,7 +101,9 @@ class MultiModelEngine:
         self.engines: Dict[str, LLMEngine] = {}
         if shared:
             managers = build_shared_managers(
-                models, total_kv_bytes, enable_prefix_caching=enable_prefix_caching
+                models, total_kv_bytes,
+                tokens_per_page=tokens_per_page,
+                enable_prefix_caching=enable_prefix_caching,
             )
         else:
             weights = {
@@ -109,7 +115,7 @@ class MultiModelEngine:
             for name, model in models.items():
                 share = int(total_kv_bytes * weights[name] / total_weight)
                 managers[name] = JengaKVCacheManager(
-                    model.kv_groups(), share,
+                    model.kv_groups(tokens_per_page), share,
                     enable_prefix_caching=enable_prefix_caching,
                 )
         for name, model in models.items():

@@ -1,0 +1,40 @@
+"""Multi-replica serving tier: N engines behind a routing policy.
+
+The paper evaluates one engine on one GPU; this package scales the
+deterministic simulator out to a cluster (ROADMAP's top open item, the
+rtp-llm ``flexlb`` pattern):
+
+* :class:`~repro.serving.replica.Replica` -- one engine + manager + its
+  own per-replica event bus (the shared-allocator fan-out fix in
+  :class:`~repro.core.events.EventFanout` keeps per-engine metrics exact
+  even for co-tenant replicas over one pool);
+* :class:`~repro.serving.router.Router` -- pluggable policies:
+  ``round_robin``, ``least_loaded`` (free-pool pressure from
+  ``stats()``), and ``cache_aware`` (a router-side shadow of each
+  replica's prefix index keyed by ``SequenceSpec.hash_chain`` block
+  hashes, scored by expected hit length);
+* :class:`~repro.serving.cluster.ServingCluster` -- drives the replicas
+  from ``poisson_arrivals``/trace workloads on the simulated clock.
+"""
+
+from .cluster import ClusterSummary, ServingCluster
+from .replica import Replica, ReplicaLoad
+from .router import (
+    ROUTING_POLICIES,
+    ReplicaShadow,
+    RequestRouted,
+    Router,
+    register_policy,
+)
+
+__all__ = [
+    "ClusterSummary",
+    "ROUTING_POLICIES",
+    "Replica",
+    "ReplicaLoad",
+    "ReplicaShadow",
+    "RequestRouted",
+    "Router",
+    "ServingCluster",
+    "register_policy",
+]

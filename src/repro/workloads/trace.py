@@ -18,7 +18,11 @@ __all__ = [
 def poisson_arrivals(
     requests: Sequence[Request], rate: float, seed: int = 0, start: float = 0.0
 ) -> List[Request]:
-    """Assign Poisson arrival times (``rate`` requests/second) in place.
+    """Assign Poisson arrival times (``rate`` requests/second).
+
+    Mutates each request's ``arrival_time`` in place *and* returns the
+    requests as a new list, so callers can write either
+    ``poisson_arrivals(reqs, rate)`` or ``reqs = poisson_arrivals(...)``.
 
     Figure 14 sweeps this rate for the Llama Vision model.
     """

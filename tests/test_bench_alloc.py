@@ -10,6 +10,10 @@ TINY = {
     "queue_depths": [5, 20],
     "queue_ops": 200,
     "engine_requests": 2,
+    "routing_fanouts": [2],
+    "routing_replicas": 2,
+    "routing_families": 3,
+    "routing_scaling_replicas": [2],
 }
 
 
@@ -26,6 +30,17 @@ def test_run_benchmark_payload_and_file(tmp_path):
         assert cell["ops_per_sec"] > 0
         assert cell["p50_us"] <= cell["p99_us"]
     assert payload["engine"]["steps"] > 0
+    # Routing sweep: every policy ran to completion on every cell.
+    assert len(payload["routing"]["sweep"]) == 1
+    for cell in payload["routing"]["sweep"]:
+        assert set(cell["policies"]) == {
+            "round_robin", "least_loaded", "cache_aware"
+        }
+        for row in cell["policies"].values():
+            assert row["finished"] == cell["requests"]
+            assert 0.0 <= row["hit_rate"] <= 1.0
+            assert row["step_p50_us"] > 0
+    assert len(payload["routing"]["replica_scaling"]) == 1
     # Every workload cross-validated stats()/stats_slow() at least once.
     assert payload["invariant_checkpoints"] >= 1
     # The JSON artifact round-trips.

@@ -7,12 +7,20 @@ import pytest
 from repro.bench.compare import collect_metrics, compare_metrics, main, render_markdown
 
 
-def payload(schedule_p50=60.0, churn64=3.0, queue100=0.5, adm64=1.3):
+def payload(schedule_p50=60.0, churn64=3.0, queue100=0.5, adm64=1.3,
+            routing_rr=900.0):
     return {
         "churn": {"sweep": [{"num_large_pages": 64, "p50_us": churn64}]},
         "queue": {"sweep": [{"depth": 100, "p50_us": queue100}]},
         "admission": {"sweep": [{"depth": 64, "cached": {"p50_us": adm64}}]},
         "engine": {"phases": {"schedule": {"p50_us": schedule_p50}}},
+        "routing": {"sweep": [{
+            "fanout": 4,
+            "policies": {
+                "round_robin": {"step_p50_us": routing_rr},
+                "cache_aware": {"step_p50_us": 850.0},
+            },
+        }]},
     }
 
 
@@ -23,6 +31,8 @@ def test_collect_metrics_keys_embed_sweep_points():
         "queue/depth=100/p50_us": 0.5,
         "admission/depth=64/cached_p50_us": 1.3,
         "engine/schedule/p50_us": 60.0,
+        "routing/fanout=4/round_robin/step_p50_us": 900.0,
+        "routing/fanout=4/cache_aware/step_p50_us": 850.0,
     }
 
 

@@ -127,3 +127,59 @@ class TestMultiModelEngine:
         # groups are distinct), so its request computed from scratch.
         s1 = metrics["small"].requests[0]
         assert s1.cached_prompt_tokens == 0
+
+
+class TestPageSizePlumbing:
+    def test_tokens_per_page_reaches_both_modes(self):
+        # Shared vs. static must compare identical page sizes: the knob
+        # plumbs to every group spec in both constructions.
+        for shared in (True, False):
+            engine = MultiModelEngine(
+                two_models(), H100, GIB, shared=shared, tokens_per_page=32
+            )
+            for eng in engine.engines.values():
+                specs = eng.manager.specs
+                assert specs, "manager has no group specs"
+                assert all(s.tokens_per_page == 32 for s in specs.values()), (
+                    f"shared={shared} dropped tokens_per_page"
+                )
+
+    def test_default_page_size_matches_across_modes(self):
+        shared = MultiModelEngine(two_models(), H100, GIB, shared=True)
+        static = MultiModelEngine(two_models(), H100, GIB, shared=False)
+        for name in shared.engines:
+            shared_tpp = {
+                g.split("/", 1)[1]: s.tokens_per_page
+                for g, s in shared.engines[name].manager.specs.items()
+            }
+            static_tpp = {
+                g: s.tokens_per_page
+                for g, s in static.engines[name].manager.specs.items()
+            }
+            assert shared_tpp == static_tpp
+
+
+class TestMemorySnapshotNamespacing:
+    def test_engine_snapshots_exclude_co_tenants(self):
+        # Figure-16 snapshots: each engine's used_by_group must cover only
+        # its own namespace, not the whole shared pool.
+        from repro.engine.scheduler import SchedulerConfig
+
+        engine = MultiModelEngine(
+            two_models(), H100, GIB, config=SchedulerConfig(record_memory=True)
+        )
+        engine.add_requests("big", reqs("b", 2, output=32))
+        engine.add_requests("small", reqs("s", 2, output=32))
+        for _ in range(12):
+            engine.step()
+        saw_groups = False
+        for name, eng in engine.engines.items():
+            for record in eng.steps:
+                if record.memory is None:
+                    continue
+                used = record.memory.used_by_group
+                saw_groups = saw_groups or bool(used)
+                assert all(g.startswith(f"{name}/") for g in used), (
+                    f"{name} snapshot charged for co-tenant groups: {sorted(used)}"
+                )
+        assert saw_groups, "no step recorded any used groups"
