@@ -1,12 +1,43 @@
-"""``python -m repro.analysis`` -- run jengalint from the command line."""
+"""``python -m repro.analysis`` -- run jengalint from the command line.
+
+Exit status: 0 clean, 1 findings, 2 analysis failure (unparseable or
+unreadable file, unusable baseline) -- a crashed analysis must not look
+like either a clean tree or an ordinary finding.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, TextIO
 
-from . import ALL_RULES, run_lint
+from . import ALL_RULES, LintResult, lint_paths, write_baseline
+
+
+def render_text(result: LintResult, out: TextIO) -> None:
+    for finding in result.findings + result.errors:
+        print(finding.render(), file=out)
+
+
+def render_json(result: LintResult, out: TextIO) -> None:
+    payload = {
+        "findings": [f.to_json() for f in result.findings],
+        "errors": [f.to_json() for f in result.errors],
+        "stats": dict(sorted(result.stats.items())),
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def render_github(result: LintResult) -> None:
+    """GitHub workflow-command annotations (``::error file=...``)."""
+    for finding in result.findings + result.errors:
+        message = f"[{finding.rule}] {finding.message}"
+        print(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title=jengalint {finding.rule}::{message}"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -25,6 +56,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print the registered rule names and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="drop findings whose stable ID is grandfathered in FILE; "
+        "baselined IDs that no longer fire are reported as stale",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the surviving findings to FILE as the new baseline "
+        "and exit 0 (grandfathering workflow)",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="additionally print GitHub ::error annotations for CI",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the findings report to FILE instead of stdout",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -32,11 +91,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(rule_cls.name)
         return 0
 
-    findings = run_lint(args.paths)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"jengalint: {len(findings)} finding(s)", file=sys.stderr)
+    result = lint_paths(args.paths, baseline=args.baseline)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, result.findings)
+        print(
+            f"jengalint: wrote {len(result.findings)} finding(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 2 if result.errors else 0
+
+    if args.output:
+        with open(args.output, "w") as out:
+            render_json(result, out) if args.format == "json" else render_text(
+                result, out
+            )
+    elif args.format == "json":
+        render_json(result, sys.stdout)
+    else:
+        render_text(result, sys.stdout)
+    if args.github:
+        render_github(result)
+
+    if result.errors:
+        print(
+            f"jengalint: analysis failed on {len(result.errors)} file(s)",
+            file=sys.stderr,
+        )
+        return 2
+    if result.findings:
+        print(
+            f"jengalint: {len(result.findings)} finding(s)", file=sys.stderr
+        )
         return 1
     return 0
 

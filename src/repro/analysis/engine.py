@@ -19,12 +19,21 @@ Suppression and retargeting directives, both line comments:
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
-__all__ = ["Finding", "Rule", "Context", "analyze_paths", "analyze_source"]
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "Context",
+    "analyze_paths",
+    "analyze_paths_result",
+    "analyze_source",
+]
 
 _DISABLE_RE = re.compile(r"#\s*jengalint:\s*disable=([\w\-,\s]+)")
 _MODULE_RE = re.compile(r"#\s*jengalint:\s*module=(\S+)")
@@ -35,16 +44,60 @@ _DIRECTIVE_WINDOW = 10
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``subject`` is the finding's *symbolic* anchor -- what it is about
+    (``"event:RequestRouted"``, ``"hot-class:LCMAllocator"``), independent
+    of line numbers.  Cross-module rules always set it; per-file rules
+    fall back to a ``module:line`` anchor.  :attr:`id` hashes
+    ``rule|subject`` into the stable identifier the baseline file stores,
+    so a finding keeps its identity while unrelated edits move it around.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    subject: str = ""
+
+    @property
+    def id(self) -> str:
+        anchor = self.subject or f"{self.path}:{self.line}"
+        digest = hashlib.sha1(f"{self.rule}|{anchor}".encode()).hexdigest()
+        return digest[:12]
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, findings separated from analysis failures.
+
+    ``errors`` are files the analysis could not process at all (syntax
+    errors, unreadable files) -- a different failure class from rule
+    findings: a crashed analysis proves nothing about the tree, so CLI
+    entry points map it to exit code 2 instead of 1.
+    ``stats["parses"]`` counts actual ``ast.parse`` calls; the whole-
+    program phase shares the per-file walk, so it must equal
+    ``stats["files"]`` (asserted by the lint wall-time budget test).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[Finding] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
 
 
 class Context:
@@ -252,34 +305,56 @@ def analyze_source(
     ]
 
 
-def analyze_paths(
+def analyze_paths_result(
     paths: Iterable[str],
     rule_classes: Sequence[Type[Rule]],
     hot_modules: Iterable[str],
-) -> List[Finding]:
-    """Lint files/directories with fresh rule instances; returns findings.
+) -> LintResult:
+    """Lint files/directories with fresh rule instances.
 
     Directories are recursed for ``*.py``.  Per-rule suppression comments
-    are honoured for both walk-time and finalize-time findings.
+    are honoured for both walk-time and finalize-time findings.  Each
+    file is parsed exactly once; the whole-program phase (cross-module
+    rules) rides the same walk, accumulating its project graph from the
+    per-file dispatch and reporting from :meth:`Rule.finalize`.
     """
     rules = [cls() for cls in rule_classes]
-    findings: List[Finding] = []
+    result = LintResult(stats={"files": 0, "parses": 0})
     suppressed_by_path: Dict[str, Dict[int, Set[str]]] = {}
     for file in _collect_files(paths):
+        result.stats["files"] += 1
         try:
             source = file.read_text()
         except (OSError, UnicodeDecodeError) as exc:
-            findings.append(
+            result.errors.append(
                 Finding(str(file), 1, 0, "parse-error", f"could not read file: {exc}")
             )
             continue
         suppressed_by_path[str(file)] = _suppressions(source.splitlines())
-        findings.extend(analyze_source(source, str(file), rules, hot_modules))
+        result.stats["parses"] += 1
+        for finding in analyze_source(source, str(file), rules, hot_modules):
+            if finding.rule == "parse-error":
+                result.errors.append(finding)
+            else:
+                result.findings.append(finding)
     for rule in rules:
         for finding in rule.finalize():
             table = suppressed_by_path.get(finding.path, {})
             if finding.rule in table.get(finding.line, set()):
                 continue
-            findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+            result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.errors.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    rule_classes: Sequence[Type[Rule]],
+    hot_modules: Iterable[str],
+) -> List[Finding]:
+    """Back-compat wrapper: findings and analysis errors as one flat list."""
+    result = analyze_paths_result(paths, rule_classes, hot_modules)
+    merged = result.findings + result.errors
+    merged.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return merged

@@ -18,7 +18,9 @@ __all__ = [
     "GUARDED_COUNTERS",
     "HOT_CLASSES",
     "HOT_MODULES",
+    "INVALIDATION_EXEMPT",
     "LIST_ATTRS",
+    "ORPHAN_ALLOWED",
     "PER_TOKEN_HASH_FUNCS",
     "POOL_ATTRS",
     "PROBE_EXEMPT_MODULES",
@@ -41,6 +43,10 @@ HOT_MODULES: FrozenSet[str] = frozenset(
         "repro/core/kv_alloc.py",
         "repro/core/kv_prefix.py",
         "repro/core/admission.py",
+        # LCMAllocator hands out the large pages every small-page carve
+        # goes through; found missing by the manifest-drift rule (its
+        # class was in HOT_CLASSES but the module escaped every hot rule).
+        "repro/core/lcm_allocator.py",
         "repro/engine/scheduler.py",
         # The router runs once per request on the serving dispatch path;
         # shadow probes must stay dict-indexed and block hashes memoized.
@@ -59,6 +65,8 @@ AUDITED_SLOW_FUNCS: FrozenSet[str] = frozenset(
         # Deliberate full recompute: the stats_slow()-style cross-check the
         # admission-bound cache is property-tested against.
         "can_admit_uncached",
+        # LCM-pool introspection for tests/debugging, documented O(pool).
+        "pages_owned_by",
     }
 )
 
@@ -78,6 +86,7 @@ POOL_ATTRS: FrozenSet[str] = frozenset(
         "_by_large",
         "_large_counts",
         "_entries",
+        "_pages",
     }
 )
 
@@ -106,6 +115,24 @@ EVENT_CLASSES: FrozenSet[str] = frozenset(
         "StepCompleted",
     }
 )
+
+# -- rule: orphan-event -------------------------------------------------
+
+#: Events that are allowed to have emit sites but no subscribe site in
+#: the tree: telemetry published for *external* consumers only.  Empty on
+#: purpose -- every current event has an in-tree consumer; add a name
+#: here (with a comment saying who the out-of-tree consumer is) rather
+#: than suppressing the orphan-event finding at the emit site.
+ORPHAN_ALLOWED: FrozenSet[str] = frozenset()
+
+# -- rule: invalidation-coverage ----------------------------------------
+
+#: Events emitted from pool-mutating functions that are deliberately NOT
+#: in ``AdmissionCache.INVALIDATING``.  Empty on purpose: PR 5 and PR 7
+#: both shipped stale-admission bugs because a mutation path's event was
+#: missing from INVALIDATING, so exemptions need a written justification
+#: (e.g. the mutation provably cannot change the cached bounds).
+INVALIDATION_EXEMPT: FrozenSet[str] = frozenset()
 
 # -- rule: per-token-rehash ---------------------------------------------
 

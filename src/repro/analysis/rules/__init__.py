@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Type
 
 from ..engine import Rule
+from .cross_module import CrossModuleRule
 from .event_bus import UnguardedEmitRule, UnguardedSpanRule
 from .hot_path import HotPathScanRule
 from .probes import DuckTypedProbeRule
@@ -14,6 +15,7 @@ from .state import DynamicAttrRule, GuardedCounterRule, WallClockRule
 
 __all__ = [
     "ALL_RULES",
+    "CrossModuleRule",
     "DuckTypedProbeRule",
     "DynamicAttrRule",
     "GuardedCounterRule",
@@ -35,4 +37,5 @@ ALL_RULES: List[Type[Rule]] = [
     GuardedCounterRule,
     WallClockRule,
     DynamicAttrRule,
+    CrossModuleRule,
 ]

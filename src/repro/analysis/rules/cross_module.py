@@ -1,0 +1,27 @@
+"""The whole-program rule: graph building + cross-module checks.
+
+:class:`CrossModuleRule` *is* the :class:`ProjectGraphBuilder` -- it
+collects the project graph during the same single pre-order walk the
+per-file rules share (one ``ast.parse`` per file, no second pass over the
+sources) and runs the :mod:`repro.analysis.program` checks from
+:meth:`finalize`.  Because its findings flow through the engine's
+finalize path, the standard ``# jengalint: disable=<rule>`` suppression
+comments apply to them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import Finding
+from ..program import run_program_checks
+from ..project_graph import ProjectGraphBuilder
+
+__all__ = ["CrossModuleRule"]
+
+
+class CrossModuleRule(ProjectGraphBuilder):
+    name = "cross-module"
+
+    def finalize(self) -> List[Finding]:
+        return run_program_checks(self.graph)

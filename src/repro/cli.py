@@ -271,15 +271,32 @@ def cmd_bench_compare(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import run_lint
+    import json as _json
 
-    findings = run_lint(args.paths)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"jengalint: {len(findings)} finding(s)")
+    from .analysis import lint_paths
+
+    result = lint_paths(args.paths, baseline=args.baseline)
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_json() for f in result.findings],
+            "errors": [f.to_json() for f in result.errors],
+            "stats": dict(sorted(result.stats.items())),
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings + result.errors:
+            print(finding.render())
+    # Exit 2 when the analysis itself failed: an unparseable file proves
+    # nothing about the tree and must not read as clean (or as a mere
+    # finding) to CI.
+    if result.errors:
+        print(f"jengalint: analysis failed on {len(result.errors)} file(s)")
+        return 2
+    if result.findings:
+        print(f"jengalint: {len(result.findings)} finding(s)")
         return 1
-    print("jengalint: clean")
+    if args.format != "json":
+        print("jengalint: clean")
     return 0
 
 
@@ -387,6 +404,11 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="findings output format (default: text)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="grandfather findings listed in FILE "
+                        "(stale entries are reported)")
     p.set_defaults(func=cmd_lint)
     return parser
 

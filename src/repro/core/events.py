@@ -50,6 +50,7 @@ __all__ = [
     "RequestPreempted",
     "RequestFinished",
     "RequestFailed",
+    "RequestRouted",
     "StepCompleted",
     "ALLOCATION_STEPS",
 ]
@@ -221,6 +222,21 @@ class RequestFailed(Event):
 
     request_id: str
     time: float
+
+
+@dataclass(frozen=True)
+class RequestRouted(Event):
+    """One routing decision, emitted on the *chosen* replica's bus.
+
+    Defined here rather than in :mod:`repro.serving.router` so replicas
+    (which the router imports) can subscribe to it without a circular
+    import; the router re-exports it for its callers.
+    """
+
+    request_id: str
+    replica_id: str
+    policy: str
+    expected_hit_tokens: int
 
 
 @dataclass(frozen=True)

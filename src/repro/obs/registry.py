@@ -37,6 +37,7 @@ from ..core.events import (
     PageEvicted,
     PageEvictedToHost,
     PageReleased,
+    PagesAllocated,
     PrefixHit,
     RequestAdmitted,
     RequestFailed,
@@ -265,6 +266,7 @@ class BusTelemetry:
 
     _EVENT_TYPES = (
         PageAllocated,
+        PagesAllocated,
         LargePageCarved,
         PageEvicted,
         PageEvictedToHost,
@@ -299,6 +301,13 @@ class BusTelemetry:
         if isinstance(event, PageAllocated):
             reg.inc("alloc/pages")
             reg.inc(_STEP_KEYS.get(event.step, f"alloc/step/{event.step}"))
+        elif isinstance(event, PagesAllocated):
+            # The batched form carries len(page_ids) pool mutations in one
+            # record; fold each page's §5.4 step into the same counters so
+            # alloc/pages agrees whichever emit path the allocator took.
+            reg.inc("alloc/pages", event.num_pages)
+            for step in event.steps:
+                reg.inc(_STEP_KEYS.get(step, f"alloc/step/{step}"))
         elif isinstance(event, PageReleased):
             reg.inc("release/cached" if event.cached else "release/freed")
         elif isinstance(event, PageEvicted):

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..baselines import make_manager
-from ..core.events import EventBus
+from ..core.events import Event, EventBus, RequestRouted
 from ..engine.engine import LLMEngine
 from ..engine.metrics import EngineMetrics
 from ..engine.request import Request
@@ -100,6 +100,13 @@ class Replica:
         self.engine = LLMEngine(
             model, gpu, manager, config=config, events=self.events
         )
+        # The replica is its own consumer of routing decisions: the
+        # router emits RequestRouted on the chosen replica's bus, and
+        # these counters keep per-replica routing telemetry exact even
+        # when the router object is long gone (summaries, rebalancing).
+        self.num_routed = 0
+        self.expected_hit_tokens = 0
+        self.events.subscribe(self._on_routed, [RequestRouted])
 
     # ------------------------------------------------------------------
 
@@ -139,7 +146,13 @@ class Replica:
     def metrics(self) -> EngineMetrics:
         return self.engine.metrics()
 
+    def _on_routed(self, event: Event) -> None:
+        if isinstance(event, RequestRouted):
+            self.num_routed += 1
+            self.expected_hit_tokens += event.expected_hit_tokens
+
     def close(self) -> None:
+        self.events.unsubscribe(self._on_routed)
         self.engine.close()
 
     def __repr__(self) -> str:

@@ -23,10 +23,9 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.events import Event
+from ..core.events import RequestRouted
 from ..core.sequence import IMAGE, TEXT, SequenceSpec
 from ..engine.request import Request
 from .replica import Replica
@@ -45,16 +44,6 @@ __all__ = [
 #: full multimodal stream; the schedule key ``("router", tokens_per_page)``
 #: keeps its memoized chain separate from any group policy's.
 ROUTER_TAGS = frozenset({TEXT, IMAGE})
-
-
-@dataclass(frozen=True)
-class RequestRouted(Event):
-    """One routing decision (emitted on the chosen replica's bus)."""
-
-    request_id: str
-    replica_id: str
-    policy: str
-    expected_hit_tokens: int
 
 
 class ReplicaShadow:

@@ -1,0 +1,13 @@
+"""UnlistedEvent subclasses Event but is missing from EVENT_CLASSES."""
+
+
+class Event:
+    pass
+
+
+class WidgetMade(Event):
+    pass
+
+
+class UnlistedEvent(Event):
+    pass

@@ -1,0 +1,3 @@
+"""Mini-tree manifest: GadgetMade is listed but defined nowhere."""
+
+EVENT_CLASSES = frozenset({"WidgetMade", "GadgetMade"})

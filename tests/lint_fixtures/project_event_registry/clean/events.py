@@ -1,0 +1,13 @@
+"""Near-miss: NotAnEvent is unlisted but does not subclass Event."""
+
+
+class Event:
+    pass
+
+
+class WidgetMade(Event):
+    pass
+
+
+class NotAnEvent:
+    pass

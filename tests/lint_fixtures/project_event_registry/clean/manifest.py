@@ -1,0 +1,3 @@
+"""Mini-tree manifest matching the defined events exactly."""
+
+EVENT_CLASSES = frozenset({"WidgetMade"})

@@ -1,0 +1,15 @@
+class Event:
+    pass
+
+
+class WidgetMade(Event):
+    pass
+
+
+def publish(bus, event):
+    """Emitting helper with no local guard: callers carry the obligation."""
+    bus.emit(event)
+
+
+def watch(bus, handler):
+    bus.subscribe(handler, [WidgetMade])

@@ -1,0 +1,3 @@
+"""Mini-tree manifest for the interprocedural-emit fixture."""
+
+EVENT_CLASSES = frozenset({"WidgetMade"})

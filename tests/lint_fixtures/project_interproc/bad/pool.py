@@ -1,0 +1,17 @@
+"""Constructs WidgetMade and hands it to the unguarded helper with no
+has_subscribers guard on the path -- the dataclass is built even when
+nobody listens."""
+
+from .events import WidgetMade, publish
+
+
+class WidgetPool:
+    def __init__(self, bus):
+        self.bus = bus
+        self.bus.subscribe(self._on_made, [WidgetMade])
+
+    def make(self):
+        publish(self.bus, WidgetMade())
+
+    def _on_made(self, event):
+        pass

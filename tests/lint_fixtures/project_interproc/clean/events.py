@@ -1,0 +1,10 @@
+class Event:
+    pass
+
+
+class WidgetMade(Event):
+    pass
+
+
+def publish(bus, event):
+    bus.emit(event)

@@ -1,0 +1,3 @@
+"""Mini-tree manifest for the interprocedural-emit near-miss."""
+
+EVENT_CLASSES = frozenset({"WidgetMade"})

@@ -1,0 +1,17 @@
+"""Near-miss: the same helper call, but the caller guards the path with
+has_subscribers, so the event is only constructed for real listeners."""
+
+from .events import WidgetMade, publish
+
+
+class WidgetPool:
+    def __init__(self, bus):
+        self.bus = bus
+        self.bus.subscribe(self._on_made, [WidgetMade])
+
+    def make(self):
+        if self.bus.has_subscribers(WidgetMade):
+            publish(self.bus, WidgetMade())
+
+    def _on_made(self, event):
+        pass

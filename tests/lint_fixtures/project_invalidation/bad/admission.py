@@ -1,0 +1,17 @@
+"""AdmissionCache misses WidgetMade although pool.make mutates state."""
+
+from .events import WidgetCleaned, WidgetMade
+
+
+class AdmissionCache:
+    INVALIDATING = (WidgetCleaned,)
+
+    def bind(self, bus):
+        bus.subscribe(self._invalidate, self.INVALIDATING)
+        bus.subscribe(self._observe, [WidgetMade])
+
+    def _invalidate(self, event):
+        pass
+
+    def _observe(self, event):
+        pass

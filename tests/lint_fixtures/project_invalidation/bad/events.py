@@ -1,0 +1,10 @@
+class Event:
+    pass
+
+
+class WidgetMade(Event):
+    pass
+
+
+class WidgetCleaned(Event):
+    pass

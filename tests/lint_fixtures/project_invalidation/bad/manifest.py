@@ -1,0 +1,4 @@
+"""Mini-tree manifest for the invalidation-coverage fixture."""
+
+EVENT_CLASSES = frozenset({"WidgetMade", "WidgetCleaned"})
+GUARDED_COUNTERS = {"n_widgets": "WidgetPool"}

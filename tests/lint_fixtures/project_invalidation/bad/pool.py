@@ -1,0 +1,17 @@
+"""make() mutates the guarded counter (via a same-module helper) and
+emits WidgetMade -- which AdmissionCache.INVALIDATING does not list."""
+
+from .events import WidgetMade
+
+
+class WidgetPool:
+    def __init__(self, bus):
+        self.bus = bus
+        self.n_widgets = 0
+
+    def make(self):
+        self._bump()
+        self.bus.emit(WidgetMade())
+
+    def _bump(self):
+        self.n_widgets += 1

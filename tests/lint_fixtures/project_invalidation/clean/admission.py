@@ -1,0 +1,15 @@
+from .events import WidgetCleaned, WidgetMade
+
+
+class AdmissionCache:
+    INVALIDATING = (WidgetCleaned,)
+
+    def bind(self, bus):
+        bus.subscribe(self._invalidate, self.INVALIDATING)
+        bus.subscribe(self._observe, [WidgetMade])
+
+    def _invalidate(self, event):
+        pass
+
+    def _observe(self, event):
+        pass

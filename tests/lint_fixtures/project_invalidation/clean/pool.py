@@ -1,0 +1,18 @@
+"""Near-miss: WidgetMade is emitted from a non-mutating function, so it
+does not need to be in INVALIDATING; the mutation path (clean) emits
+WidgetCleaned, which is listed."""
+
+from .events import WidgetCleaned, WidgetMade
+
+
+class WidgetPool:
+    def __init__(self, bus):
+        self.bus = bus
+        self.n_widgets = 0
+
+    def announce(self):
+        self.bus.emit(WidgetMade())
+
+    def clean(self):
+        self.n_widgets += 1
+        self.bus.emit(WidgetCleaned())

@@ -1,0 +1,6 @@
+"""WidgetPool is in HOT_CLASSES but this module is not in HOT_MODULES."""
+
+
+class WidgetPool:
+    def __init__(self):
+        self.widgets = []

@@ -1,0 +1,12 @@
+# jengalint: module=repro/widgets/pool.py
+"""WidgetPool lives in a HOT_MODULES-listed module; Clock has tick()."""
+
+
+class WidgetPool:
+    def __init__(self):
+        self.widgets = []
+
+
+class Clock:
+    def tick(self):
+        pass

@@ -1,0 +1,3 @@
+"""Mini-tree manifest for the orphan-event fixture."""
+
+EVENT_CLASSES = frozenset({"WidgetMade", "WidgetDropped"})

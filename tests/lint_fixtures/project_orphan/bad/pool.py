@@ -1,0 +1,18 @@
+"""WidgetMade is emitted but only WidgetDropped has a subscriber."""
+
+from .events import WidgetDropped, WidgetMade
+
+
+class WidgetPool:
+    def __init__(self, bus):
+        self.bus = bus
+        self.bus.subscribe(self._on_drop, [WidgetDropped])
+
+    def make(self):
+        self.bus.emit(WidgetMade())
+
+    def drop(self):
+        self.bus.emit(WidgetDropped())
+
+    def _on_drop(self, event):
+        pass

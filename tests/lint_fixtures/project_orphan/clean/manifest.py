@@ -1,0 +1,6 @@
+"""Near-miss manifest: WidgetMade is an explicit orphan allowlist entry
+(published for out-of-tree consumers), so only WidgetDropped needs an
+in-tree subscriber."""
+
+EVENT_CLASSES = frozenset({"WidgetMade", "WidgetDropped"})
+ORPHAN_ALLOWED = frozenset({"WidgetMade"})

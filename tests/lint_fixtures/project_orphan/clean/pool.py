@@ -1,0 +1,19 @@
+from .events import WidgetDropped, WidgetMade
+
+#: Module-level tuple filter (exercises the bare-Name resolution path).
+WATCHED = (WidgetDropped,)
+
+
+class WidgetPool:
+    def __init__(self, bus):
+        self.bus = bus
+        self.bus.subscribe(self._on_drop, WATCHED)
+
+    def make(self):
+        self.bus.emit(WidgetMade())
+
+    def drop(self):
+        self.bus.emit(WidgetDropped())
+
+    def _on_drop(self, event):
+        pass

@@ -25,7 +25,10 @@ BAD_FIXTURES = {
 
 
 def test_every_rule_has_a_bad_fixture():
-    assert sorted(BAD_FIXTURES.values()) == sorted(r.name for r in ALL_RULES)
+    # The whole-program rule's fixtures are the project_* mini-trees,
+    # covered by test_jengalint_program.py.
+    per_file = sorted(r.name for r in ALL_RULES if r.name != "cross-module")
+    assert sorted(BAD_FIXTURES.values()) == per_file
 
 
 @pytest.mark.parametrize("fixture,rule", sorted(BAD_FIXTURES.items()))

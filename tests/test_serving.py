@@ -204,3 +204,31 @@ class TestServingCluster:
         router = Router(make_replicas(2), policy="round_robin")
         with pytest.raises(ValueError):
             ServingCluster(replicas, router)
+
+
+class TestReplicaRoutingCounters:
+    def test_replica_counts_its_own_routing_events(self):
+        # The replica subscribes to RequestRouted on its own bus, so the
+        # routing decision is observable per replica even after the
+        # router is gone (the orphan-event lint finding this fixes).
+        replicas = make_replicas(2)
+        router = Router(replicas, policy="round_robin")
+        requests = forked_requests(num_families=2, fanout=2)
+        for request in requests:
+            router.route(request)
+        assert [r.num_routed for r in replicas] == router.routed_counts
+        assert sum(r.expected_hit_tokens for r in replicas) == (
+            router.expected_hit_tokens
+        )
+        for replica in replicas:
+            replica.close()
+
+    def test_close_unsubscribes_routing_counter(self):
+        replicas = make_replicas(2)
+        router = Router(replicas, policy="round_robin")
+        replica = replicas[0]
+        replica.close()
+        replicas[1].close()
+        before = replica.num_routed
+        router.route(forked_requests(num_families=1, fanout=1)[0])
+        assert replica.num_routed == before

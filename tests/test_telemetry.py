@@ -9,6 +9,7 @@ from repro.core.events import (
     PageEvicted,
     PageEvictedToHost,
     PageReleased,
+    PagesAllocated,
     PrefixHit,
     RequestAdmitted,
     RequestFailed,
@@ -137,6 +138,20 @@ class TestBusTelemetry:
         assert reg.counters["alloc/step/2"] == 2
         assert reg.counters["alloc/step/5"] == 1
         assert "alloc/step/4" not in reg.counters
+
+    def test_batched_allocation_counts_every_page(self):
+        # One PagesAllocated record carries len(page_ids) pool mutations;
+        # alloc/pages and the §5.4 step histogram must agree with the
+        # equivalent per-page emission path.
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        bus.emit(PagesAllocated("g", "r0", (1, 2, 3), (1, 2, 2)))
+        bus.emit(PageAllocated("g", "r0", 4, step=5))
+        reg = telemetry.registry
+        assert reg.counters["alloc/pages"] == 4
+        assert reg.counters["alloc/step/1"] == 1
+        assert reg.counters["alloc/step/2"] == 2
+        assert reg.counters["alloc/step/5"] == 1
 
     def test_eviction_provenance(self):
         bus = EventBus(capacity=0)
