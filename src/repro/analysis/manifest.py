@@ -51,6 +51,9 @@ HOT_MODULES: FrozenSet[str] = frozenset(
         # The router runs once per request on the serving dispatch path;
         # shadow probes must stay dict-indexed and block hashes memoized.
         "repro/serving/router.py",
+        # The pressure monitor subscribes to per-page eviction events and
+        # folds them every step; its handlers must stay O(1) per event.
+        "repro/obs/pressure.py",
     }
 )
 
@@ -108,6 +111,7 @@ EVENT_CLASSES: FrozenSet[str] = frozenset(
         "PrefixHit",
         "RequestQueued",
         "RequestAdmitted",
+        "AdmissionBlocked",
         "RequestPreempted",
         "RequestFinished",
         "RequestFailed",
@@ -235,5 +239,6 @@ HOT_CLASSES: FrozenSet[str] = frozenset(
         "AdmissionGate",
         "Router",
         "ReplicaShadow",
+        "PressureMonitor",
     }
 )

@@ -30,7 +30,13 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-__all__ = ["collect_metrics", "compare_metrics", "render_markdown", "main"]
+__all__ = [
+    "UNCALIBRATED_PREFIXES",
+    "collect_metrics",
+    "compare_metrics",
+    "render_markdown",
+    "main",
+]
 
 
 def collect_metrics(payload: Dict) -> Dict[str, float]:
@@ -58,7 +64,26 @@ def collect_metrics(payload: Dict) -> Dict[str, float]:
         for policy, row in sorted(cell.get("policies", {}).items()):
             key = f"routing/fanout={cell['fanout']}/{policy}/step_p50_us"
             metrics[key] = row["step_p50_us"]
+            slo = row.get("slo")
+            if slo:
+                base = f"slo/fanout={cell['fanout']}/{policy}"
+                for axis in ("ttft_p50_s", "ttft_p99_s", "tbt_p99_s", "e2e_p99_s"):
+                    metrics[f"{base}/{axis}"] = slo[axis]
+            pressure = row.get("pressure")
+            if pressure is not None:
+                base = f"pressure/fanout={cell['fanout']}/{policy}"
+                metrics[f"{base}/admission_blocked"] = pressure[
+                    "admission_blocked"
+                ]
+                metrics[f"{base}/preemptions"] = pressure["preemptions"]
     return metrics
+
+
+#: Metric-key prefixes measured on the *simulated* clock (or event
+#: counts): deterministic for a given seed, so machine-speed calibration
+#: must not rescale them -- a 2x-faster CI machine would otherwise turn a
+#: bit-identical simulated latency into an apparent 2x regression.
+UNCALIBRATED_PREFIXES = ("slo/", "pressure/")
 
 
 @dataclass(frozen=True)
@@ -103,7 +128,11 @@ def compare_metrics(
                            ok=True, calibration=True)
             )
             continue
-        adjusted = current[key] / factor
+        adjusted = (
+            current[key]
+            if key.startswith(UNCALIBRATED_PREFIXES)
+            else current[key] / factor
+        )
         ratio = adjusted / max(baseline[key], 1e-12)
         rows.append(
             Comparison(key, baseline[key], current[key], ratio,

@@ -239,6 +239,55 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_cluster_report(args) -> int:
+    """Fan-out cluster run per policy -> cluster SLO/pressure report."""
+    import json as _json
+
+    from .bench.alloc import fanout_requests
+    from .obs.cluster import (
+        ClusterReport,
+        cluster_markdown,
+        cluster_reports_payload,
+        render_cluster_reports,
+        write_cluster_trace,
+    )
+    from .serving import ServingCluster
+
+    model = get_model(args.model, quantized=args.fp8)
+    gpu = GPUS[args.gpu]
+    kv = (int(args.kv_gib * GIB) if args.kv_gib
+          else kv_budget(model, gpu).kv_bytes // max(1, args.replicas))
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    reports = []
+    for i, policy in enumerate(policies):
+        tracing = bool(args.trace) and i == 0
+        cluster = ServingCluster.build(
+            model, gpu, kv, args.replicas, policy=policy,
+            config=profile_config("vllm", record_memory=True),
+            seed=args.seed, tracing=tracing, telemetry=True, pressure=True,
+        )
+        cluster.submit(fanout_requests(
+            args.fanout, num_families=args.families,
+            rate=args.rate, seed=args.seed,
+        ))
+        cluster.run()
+        reports.append(ClusterReport.from_cluster(cluster))
+        if tracing:
+            payload = write_cluster_trace(args.trace, cluster)
+            print(f"wrote {args.trace}: {len(payload['traceEvents'])} trace "
+                  f"events across {len(cluster.replicas)} replica lanes "
+                  f"({policy} policy)")
+        cluster.close()
+    if args.json:
+        print(_json.dumps(cluster_reports_payload(reports), indent=2))
+    else:
+        print(render_cluster_reports(reports))
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(cluster_markdown(reports))
+    return 0
+
+
 def cmd_bench_alloc(args) -> int:
     from .bench.alloc import run_benchmark
 
@@ -372,6 +421,36 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON instead of text")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "cluster-report",
+        help="fan-out cluster run per routing policy -> "
+             "cluster SLO / pressure / per-replica report",
+    )
+    p.add_argument("--model", default="gemma2-9b")
+    p.add_argument("--fp8", action="store_true")
+    p.add_argument("--gpu", choices=sorted(GPUS), default="l4")
+    p.add_argument("--kv-gib", type=float, default=None,
+                   help="per-replica KV budget (GiB); default: the GPU "
+                        "budget split across replicas")
+    p.add_argument("--replicas", type=int, default=4)
+    p.add_argument("--fanout", type=int, default=16,
+                   help="requests forked per shared-prefix family")
+    p.add_argument("--families", type=int, default=6,
+                   help="number of shared-prefix families")
+    p.add_argument("--rate", type=float, default=8.0,
+                   help="Poisson arrival rate (requests/simulated s)")
+    p.add_argument("--policies", default="round_robin,least_loaded,cache_aware",
+                   help="comma-separated routing policies to compare")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write the merged multi-replica Chrome trace of "
+                        "the first policy's run to PATH")
+    p.add_argument("--summary", default=None, metavar="PATH",
+                   help="append markdown tables (e.g. $GITHUB_STEP_SUMMARY)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of text")
+    p.set_defaults(func=cmd_cluster_report)
 
     p = sub.add_parser(
         "bench-alloc",

@@ -47,6 +47,7 @@ __all__ = [
     "PrefixHit",
     "RequestQueued",
     "RequestAdmitted",
+    "AdmissionBlocked",
     "RequestPreempted",
     "RequestFinished",
     "RequestFailed",
@@ -195,6 +196,27 @@ class RequestAdmitted(Event):
     request_id: str
     time: float
     cached_tokens: int = 0
+
+
+@dataclass(frozen=True)
+class AdmissionBlocked(Event):
+    """The waiting-queue head's admission probe failed; the queue stalls.
+
+    Emitted by the engine at most once per *actual* failed probe (the
+    :class:`~repro.engine.scheduler.AdmissionGate` memo suppresses provably
+    redundant re-probes, so each record marks a step where pool pressure
+    genuinely blocked admission).  ``queue_depth`` counts the waiting
+    requests stuck behind the blocked head -- together with eviction
+    provenance, preemptions, and the waste timeline this is the pressure
+    input the ROADMAP's ``PoolResizer`` acts on.  Not an
+    :class:`~repro.core.admission.AdmissionCache` invalidator: a failed
+    probe is count-net-zero on the pool.
+    """
+
+    request_id: str
+    time: float
+    queue_depth: int
+    num_running: int
 
 
 @dataclass(frozen=True)

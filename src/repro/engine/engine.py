@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import (
+    AdmissionBlocked,
     EventBus,
     RequestAdmitted,
     RequestFailed,
@@ -351,6 +352,12 @@ class LLMEngine:
                     if self.events.has_subscribers(RequestFailed):
                         self.events.emit(RequestFailed(request.request_id, now))
                     continue
+                if self.events.has_subscribers(AdmissionBlocked):
+                    self.events.emit(AdmissionBlocked(
+                        seq.request_id, now,
+                        queue_depth=len(self.waiting),
+                        num_running=len(self.running),
+                    ))
                 # Version is read *after* the release so the probe's own
                 # (count-net-zero) acquire/release events are absorbed.
                 self._admission_gate.note_blocked(

@@ -20,7 +20,7 @@ Perfetto, so exporting one is a bug, not a formatting nit.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from .registry import TelemetryRegistry
 from .tracer import Tracer
@@ -30,6 +30,8 @@ if TYPE_CHECKING:  # engine types are display-only inputs here
 
 __all__ = [
     "chrome_trace",
+    "span_events",
+    "timeline_counter_events",
     "write_chrome_trace",
     "validate_chrome_trace",
     "render_report",
@@ -53,16 +55,9 @@ def _meta(pid: int, name: str) -> Dict[str, Any]:
     }
 
 
-def chrome_trace(
-    tracer: Tracer, registry: Optional[TelemetryRegistry] = None
-) -> Dict[str, Any]:
-    """Build the Chrome trace-event JSON object for ``tracer``.
-
-    Span/instant timestamps are the tracer's wall clock in microseconds.
-    When ``registry`` is given, its ``mem/*`` timelines (recorded on the
-    simulated clock) are appended as counter tracks on a second process.
-    """
-    events: List[Dict[str, Any]] = [_meta(_WALL_PID, "repro-engine (wall clock)")]
+def span_events(tracer: Tracer, pid: int) -> List[Dict[str, Any]]:
+    """Serialize a tracer's wall-clock spans onto process lane ``pid``."""
+    events: List[Dict[str, Any]] = []
     for span in tracer.spans:
         ts = span.start * 1e6
         if span.kind == "X":
@@ -72,7 +67,7 @@ def chrome_trace(
                 "ph": "X",
                 "ts": ts,
                 "dur": span.duration * 1e6,
-                "pid": _WALL_PID,
+                "pid": pid,
                 "tid": 0,
             }
             if span.args:
@@ -84,7 +79,7 @@ def chrome_trace(
                 "ph": "i",
                 "ts": ts,
                 "s": "t",
-                "pid": _WALL_PID,
+                "pid": pid,
                 "tid": 0,
             }
             if span.args:
@@ -95,35 +90,59 @@ def chrome_trace(
                 "cat": span.cat,
                 "ph": "C",
                 "ts": ts,
-                "pid": _WALL_PID,
+                "pid": pid,
                 "tid": 0,
                 "args": dict(span.args or {"value": 0.0}),
             }
         else:  # never emitted by Tracer; fail loudly rather than corrupt
             raise ValueError(f"unknown span kind {span.kind!r}")
         events.append(event)
+    return events
+
+
+def timeline_counter_events(
+    registry: TelemetryRegistry,
+    pid: int,
+    prefixes: Tuple[str, ...] = ("mem/",),
+    cat: str = "memory",
+) -> List[Dict[str, Any]]:
+    """Serialize matching sim-clock timelines as counter tracks on ``pid``."""
+    events: List[Dict[str, Any]] = []
+    for name, series in sorted(registry.timelines.items()):
+        if not name.startswith(prefixes):
+            continue
+        for t, value in series.points:
+            events.append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    tracer: Tracer, registry: Optional[TelemetryRegistry] = None
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for ``tracer``.
+
+    Span/instant timestamps are the tracer's wall clock in microseconds.
+    When ``registry`` is given, its ``mem/*`` timelines (recorded on the
+    simulated clock) are appended as counter tracks on a second process.
+    """
+    events: List[Dict[str, Any]] = [_meta(_WALL_PID, "repro-engine (wall clock)")]
+    events.extend(span_events(tracer, _WALL_PID))
 
     if registry is not None:
-        mem_series = {
-            name: series
-            for name, series in registry.timelines.items()
-            if name.startswith("mem/")
-        }
-        if mem_series:
+        counters = timeline_counter_events(registry, _SIM_PID)
+        if counters:
             events.append(_meta(_SIM_PID, "memory (simulated clock)"))
-            for name, series in sorted(mem_series.items()):
-                for t, value in series.points:
-                    events.append(
-                        {
-                            "name": name,
-                            "cat": "memory",
-                            "ph": "C",
-                            "ts": t * 1e6,
-                            "pid": _SIM_PID,
-                            "tid": 0,
-                            "args": {"value": value},
-                        }
-                    )
+            events.extend(counters)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -1,0 +1,181 @@
+"""Pool-pressure monitor: bus events -> per-replica pressure gauges.
+
+:class:`PressureMonitor` is the sensing half of the ROADMAP's elastic
+pool-repartitioning item: a single :class:`~repro.core.events.EventBus`
+subscriber that folds the pressure-bearing event stream -- admission
+blocks (:class:`~repro.core.events.AdmissionBlocked`), eviction
+provenance (:class:`~repro.core.events.PageEvicted`), preemptions, and
+the per-step waste/occupancy snapshot -- into gauges, counters, and
+sim-clock timelines a future ``PoolResizer`` (or a human reading
+``cluster-report``) can act on.
+
+Per-step rates are folded as exponentially-weighted moving averages at
+every :class:`~repro.core.events.StepCompleted`, so the gauges answer
+"how hard is this replica's pool being squeezed *right now*", not "how
+many evictions ever happened".  The composite ``pressure/score`` in
+``[0, 1]`` is the max of the block-rate, preemption-rate, and
+non-reclaimable-occupancy terms: any one of them saturating means the
+pool is the bottleneck.
+
+Like :class:`~repro.obs.registry.BusTelemetry`, the monitor is just a
+subscriber: attaching it never touches engine code, and :meth:`close`
+detaches it so reused buses do not keep feeding a dead registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.events import (
+    AdmissionBlocked,
+    Event,
+    EventBus,
+    PageEvicted,
+    RequestPreempted,
+    StepCompleted,
+)
+from .registry import TelemetryRegistry
+
+__all__ = ["PressureMonitor"]
+
+#: EWMA weight for per-step rates: ~the last ``1/alpha`` steps dominate.
+_EWMA_ALPHA = 0.2
+
+
+class PressureMonitor:
+    """Fold pressure-bearing bus events into registry gauges/timelines.
+
+    Subscribes on construction.  Counters (monotonic):
+
+    * ``pressure/admission_blocked`` -- failed admission probes,
+    * ``pressure/evictions`` / ``pressure/group/<gid>/evictions``,
+    * ``pressure/preemptions``.
+
+    Gauges (folded per step):
+
+    * ``pressure/blocked_rate`` / ``pressure/eviction_rate`` /
+      ``pressure/preemption_rate`` -- EWMA events-per-step,
+    * ``pressure/group/<gid>/eviction_rate`` -- per-group EWMA,
+    * ``pressure/queue_depth`` -- waiting requests behind a blocked head,
+    * ``pressure/waste_frac`` / ``pressure/occupancy`` -- from the step's
+      :class:`~repro.engine.metrics.MemorySnapshot` (needs
+      ``record_memory``); occupancy counts only non-reclaimable bytes,
+      mirroring :class:`~repro.serving.replica.ReplicaLoad.pressure`,
+    * ``pressure/score`` -- composite in ``[0, 1]``.
+
+    ``pressure/score`` and ``pressure/waste_frac`` are also recorded as
+    sim-clock timelines, so the squeeze is plottable next to the ``mem/*``
+    tracks in the merged cluster trace.
+    """
+
+    _EVENT_TYPES = (AdmissionBlocked, PageEvicted, RequestPreempted, StepCompleted)
+
+    def __init__(
+        self, events: EventBus, registry: Optional[TelemetryRegistry] = None
+    ) -> None:
+        self.events = events
+        self.registry = registry if registry is not None else TelemetryRegistry()
+        self._closed = False
+        # Current-step accumulators, zeroed at every StepCompleted.
+        self._blocks = 0
+        self._evictions = 0
+        self._preemptions = 0
+        self._group_window: Dict[str, int] = {}
+        # EWMA state per rate name (and per group id).
+        self._rates: Dict[str, float] = {}
+        self._group_rates: Dict[str, float] = {}
+        # Memoized counter/gauge key strings: PageEvicted fires per page,
+        # so the handler must not pay an f-string per event.
+        self._group_count_keys: Dict[str, str] = {}
+        self._group_rate_keys: Dict[str, str] = {}
+        self.score = 0.0
+        events.subscribe(self._on_event, self._EVENT_TYPES)
+
+    def close(self) -> None:
+        """Unsubscribe from the bus (idempotent)."""
+        if not self._closed:
+            self.events.unsubscribe(self._on_event)
+            self._closed = True
+
+    # ------------------------------------------------------------------
+
+    def gauges(self) -> Dict[str, float]:
+        """The registry's ``pressure/*`` gauges (reporting convenience)."""
+        out = {}
+        for name, value in self.registry.gauges.items():
+            if name.startswith("pressure/"):
+                out[name] = value
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        reg = self.registry
+        if isinstance(event, AdmissionBlocked):
+            self._blocks += 1
+            reg.inc("pressure/admission_blocked")
+            reg.set_gauge("pressure/queue_depth", float(event.queue_depth))
+        elif isinstance(event, PageEvicted):
+            self._evictions += 1
+            gid = event.group_id
+            key = self._group_count_keys.get(gid)
+            if key is None:
+                key = self._group_count_keys[gid] = f"pressure/group/{gid}/evictions"
+                self._group_rate_keys[gid] = f"pressure/group/{gid}/eviction_rate"
+                self._group_rates[gid] = 0.0
+            reg.inc("pressure/evictions")
+            reg.inc(key)
+            self._group_window[gid] = self._group_window.get(gid, 0) + 1
+        elif isinstance(event, RequestPreempted):
+            self._preemptions += 1
+            reg.inc("pressure/preemptions")
+        elif isinstance(event, StepCompleted):
+            self._on_step(event)
+
+    def _on_step(self, event: StepCompleted) -> None:
+        reg = self.registry
+        blocked = self._fold("blocked_rate", self._blocks)
+        self._fold("eviction_rate", self._evictions)
+        preempted = self._fold("preemption_rate", self._preemptions)
+        self._blocks = self._evictions = self._preemptions = 0
+        for gid in self._group_rates:
+            prev = self._group_rates[gid]
+            cur = prev + _EWMA_ALPHA * (self._group_window.get(gid, 0) - prev)
+            self._group_rates[gid] = cur
+            reg.set_gauge(self._group_rate_keys[gid], cur)
+        self._group_window.clear()
+
+        occupancy = 0.0
+        record = event.record
+        memory = getattr(record, "memory", None)
+        if memory is not None:
+            total = (
+                memory.used_bytes + memory.evictable_bytes
+                + memory.waste_bytes + memory.free_bytes
+            )
+            if total > 0:
+                waste_frac = memory.waste_bytes / total
+                # Evictable bytes are reclaimable headroom, not occupancy
+                # (same convention as ReplicaLoad.pressure).
+                occupancy = 1.0 - (memory.free_bytes + memory.evictable_bytes) / total
+                reg.set_gauge("pressure/waste_frac", waste_frac)
+                reg.set_gauge("pressure/occupancy", occupancy)
+                reg.record_point("pressure/waste_frac", event.time, waste_frac)
+
+        score = blocked
+        if preempted > score:
+            score = preempted
+        if occupancy > score:
+            score = occupancy
+        if score > 1.0:
+            score = 1.0
+        self.score = score
+        reg.set_gauge("pressure/score", score)
+        reg.record_point("pressure/score", event.time, score)
+
+    def _fold(self, name: str, window: int) -> float:
+        prev = self._rates.get(name, 0.0)
+        cur = prev + _EWMA_ALPHA * (window - prev)
+        self._rates[name] = cur
+        self.registry.set_gauge(f"pressure/{name}", cur)
+        return cur

@@ -13,6 +13,8 @@ instruments:
   (Section 5.1),
 * preemption reasons (``victim`` vs. ``self``), request lifecycle tallies,
   prefix-cache token counters, host-offload spill volume,
+* routing decisions (``routing/policy/<name>``, ``routing/replica/<id>``,
+  expected hit tokens) when attached to a serving replica's bus,
 * the memory / waste / fragmentation timeline sampled from each step's
   :class:`~repro.engine.metrics.MemorySnapshot` (the Figure 16 axes), on
   the *simulated* clock,
@@ -44,6 +46,7 @@ from ..core.events import (
     RequestFinished,
     RequestPreempted,
     RequestQueued,
+    RequestRouted,
     StepCompleted,
 )
 
@@ -277,6 +280,7 @@ class BusTelemetry:
         RequestPreempted,
         RequestFinished,
         RequestFailed,
+        RequestRouted,
         StepCompleted,
     )
 
@@ -339,6 +343,13 @@ class BusTelemetry:
             reg.inc("requests/finished")
         elif isinstance(event, RequestFailed):
             reg.inc("requests/failed")
+        elif isinstance(event, RequestRouted):
+            # One event per request dispatch (not per page), so the
+            # f-string keys are off the per-page hot path.
+            reg.inc("routing/requests")
+            reg.inc(f"routing/policy/{event.policy}")
+            reg.inc(f"routing/replica/{event.replica_id}")
+            reg.inc("routing/expected_hit_tokens", event.expected_hit_tokens)
         elif isinstance(event, StepCompleted):
             self._on_step(event)
 

@@ -62,9 +62,18 @@ class ServingCluster:
             sequence).
         router: Routing policy instance; ``ServingCluster.build`` wires
             both up for the common homogeneous case.
+        record_routes: Keep a ``(sim_time, request_id, replica_idx,
+            expected_hit_tokens)`` log of every dispatch -- the cluster
+            lane of the merged Chrome trace
+            (:func:`repro.obs.cluster.cluster_chrome_trace`).
     """
 
-    def __init__(self, replicas: List[Replica], router: Router) -> None:
+    def __init__(
+        self,
+        replicas: List[Replica],
+        router: Router,
+        record_routes: bool = False,
+    ) -> None:
         if not replicas:
             raise ValueError("cluster needs at least one replica")
         if router.replicas != list(replicas):
@@ -75,6 +84,8 @@ class ServingCluster:
         self._pending: List[Request] = []
         self._next_pending = 0
         self.num_dispatched = 0
+        self.record_routes = record_routes
+        self.route_log: List[Tuple[float, str, int, int]] = []
 
     @classmethod
     def build(
@@ -88,18 +99,32 @@ class ServingCluster:
         config=None,
         tokens_per_page: int = 16,
         seed: int = 0,
+        tracing: bool = False,
+        telemetry: bool = False,
+        pressure: bool = False,
     ) -> "ServingCluster":
-        """Homogeneous cluster: N identical replicas, one policy."""
+        """Homogeneous cluster: N identical replicas, one policy.
+
+        ``tracing``/``telemetry``/``pressure`` attach a *per-replica*
+        :class:`~repro.obs.tracer.Tracer` / bus-telemetry /
+        pressure-monitor set (all default off, preserving the
+        zero-overhead ``NULL_TRACER`` path); with tracing on the cluster
+        also records the route log for the merged trace's router lane.
+        """
+        from ..obs.tracer import Tracer  # deferred: serving stays obs-light
+
         replicas = [
             Replica(
                 f"replica-{i}", model, gpu, kv_bytes,
                 system=system, config=config,
                 tokens_per_page=tokens_per_page, seed=seed + i,
+                tracer=Tracer() if tracing else None,
+                telemetry=telemetry, pressure=pressure,
             )
             for i in range(num_replicas)
         ]
         router = Router(replicas, policy=policy, tokens_per_page=tokens_per_page)
-        return cls(replicas, router)
+        return cls(replicas, router, record_routes=tracing)
 
     # ------------------------------------------------------------------
 
@@ -129,8 +154,14 @@ class ServingCluster:
             # the whole cluster idle the dispatch also jumps time forward.
             if ready is None or head.arrival_time <= ready[0]:
                 self._next_pending += 1
-                self.router.route(head)
+                hit_before = self.router.expected_hit_tokens
+                idx = self.router.route(head)
                 self.num_dispatched += 1
+                if self.record_routes:
+                    self.route_log.append((
+                        head.arrival_time, head.request_id, idx,
+                        self.router.expected_hit_tokens - hit_before,
+                    ))
                 return "dispatch"
         if ready is None:
             return None

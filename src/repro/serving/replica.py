@@ -22,6 +22,9 @@ from ..engine.metrics import EngineMetrics
 from ..engine.request import Request
 from ..engine.scheduler import SchedulerConfig
 from ..models.config import ModelSpec
+from ..obs.pressure import PressureMonitor
+from ..obs.registry import BusTelemetry, TelemetryRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..platforms.gpu import GPU
 
 __all__ = ["Replica", "ReplicaLoad"]
@@ -68,6 +71,17 @@ class Replica:
         events: Per-replica bus; a capture-free private bus is created
             when omitted (ring capture off: the cluster runs millions of
             events and metrics flow through subscribers, not the ring).
+        tracer: Per-replica span tracer handed to the engine.  ``None``
+            keeps the zero-overhead :data:`~repro.obs.tracer.NULL_TRACER`
+            default -- tracing must be opted into per replica.
+        telemetry: Attach a per-replica
+            :class:`~repro.obs.registry.BusTelemetry` feeding
+            ``self.registry``.
+        pressure: Attach a per-replica
+            :class:`~repro.obs.pressure.PressureMonitor` feeding the same
+            registry.
+        registry: Registry the monitors write to; a private one is created
+            when omitted and any monitor is requested.
     """
 
     def __init__(
@@ -83,6 +97,10 @@ class Replica:
         seed: int = 0,
         manager=None,
         events: Optional[EventBus] = None,
+        tracer: Optional[Tracer] = None,
+        telemetry: bool = False,
+        pressure: bool = False,
+        registry: Optional[TelemetryRegistry] = None,
     ) -> None:
         self.replica_id = replica_id
         self.model = model
@@ -97,8 +115,22 @@ class Replica:
             )
         self.manager = manager
         self.events = events if events is not None else EventBus(capacity=0)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Monitors subscribe *before* the engine so they observe every
+        # event the engine's own collector sees; they share one registry
+        # so cluster reports read a single per-replica snapshot.
+        self.registry: Optional[TelemetryRegistry] = registry
+        if (telemetry or pressure) and self.registry is None:
+            self.registry = TelemetryRegistry()
+        self.telemetry: Optional[BusTelemetry] = (
+            BusTelemetry(self.events, self.registry) if telemetry else None
+        )
+        self.pressure: Optional[PressureMonitor] = (
+            PressureMonitor(self.events, self.registry) if pressure else None
+        )
         self.engine = LLMEngine(
-            model, gpu, manager, config=config, events=self.events
+            model, gpu, manager, config=config, events=self.events,
+            tracer=self.tracer,
         )
         # The replica is its own consumer of routing decisions: the
         # router emits RequestRouted on the chosen replica's bus, and
@@ -152,7 +184,16 @@ class Replica:
             self.expected_hit_tokens += event.expected_hit_tokens
 
     def close(self) -> None:
+        """Detach every subscriber this replica attached (idempotent).
+
+        Reused buses must not keep feeding a dead registry -- the leak
+        class ``MetricsCollector.close`` fixed at the engine layer.
+        """
         self.events.unsubscribe(self._on_routed)
+        if self.telemetry is not None:
+            self.telemetry.close()
+        if self.pressure is not None:
+            self.pressure.close()
         self.engine.close()
 
     def __repr__(self) -> str:

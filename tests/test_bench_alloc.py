@@ -40,6 +40,13 @@ def test_run_benchmark_payload_and_file(tmp_path):
             assert row["finished"] == cell["requests"]
             assert 0.0 <= row["hit_rate"] <= 1.0
             assert row["step_p50_us"] > 0
+            # Cluster SLO + pressure summaries ride on every routing row.
+            assert row["slo"]["requests"] == cell["requests"]
+            assert 0.0 < row["slo"]["ttft_p50_s"] <= row["slo"]["ttft_p99_s"]
+            assert 0.0 < row["slo"]["e2e_p99_s"]
+            assert row["pressure"]["admission_blocked"] >= 0
+            assert row["pressure"]["evictions"] >= 0
+            assert row["pressure"]["preemptions"] == row["preemptions"]
     assert len(payload["routing"]["replica_scaling"]) == 1
     # Every workload cross-validated stats()/stats_slow() at least once.
     assert payload["invariant_checkpoints"] >= 1

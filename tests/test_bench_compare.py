@@ -8,7 +8,7 @@ from repro.bench.compare import collect_metrics, compare_metrics, main, render_m
 
 
 def payload(schedule_p50=60.0, churn64=3.0, queue100=0.5, adm64=1.3,
-            routing_rr=900.0):
+            routing_rr=900.0, ttft_p50=0.4):
     return {
         "churn": {"sweep": [{"num_large_pages": 64, "p50_us": churn64}]},
         "queue": {"sweep": [{"depth": 100, "p50_us": queue100}]},
@@ -18,7 +18,13 @@ def payload(schedule_p50=60.0, churn64=3.0, queue100=0.5, adm64=1.3,
             "fanout": 4,
             "policies": {
                 "round_robin": {"step_p50_us": routing_rr},
-                "cache_aware": {"step_p50_us": 850.0},
+                "cache_aware": {
+                    "step_p50_us": 850.0,
+                    "slo": {"ttft_p50_s": ttft_p50, "ttft_p99_s": 0.9,
+                            "tbt_p99_s": 0.05, "e2e_p99_s": 1.8},
+                    "pressure": {"admission_blocked": 7, "evictions": 40,
+                                 "preemptions": 2},
+                },
             },
         }]},
     }
@@ -33,6 +39,12 @@ def test_collect_metrics_keys_embed_sweep_points():
         "engine/schedule/p50_us": 60.0,
         "routing/fanout=4/round_robin/step_p50_us": 900.0,
         "routing/fanout=4/cache_aware/step_p50_us": 850.0,
+        "slo/fanout=4/cache_aware/ttft_p50_s": 0.4,
+        "slo/fanout=4/cache_aware/ttft_p99_s": 0.9,
+        "slo/fanout=4/cache_aware/tbt_p99_s": 0.05,
+        "slo/fanout=4/cache_aware/e2e_p99_s": 1.8,
+        "pressure/fanout=4/cache_aware/admission_blocked": 7,
+        "pressure/fanout=4/cache_aware/preemptions": 2,
     }
 
 
@@ -56,9 +68,11 @@ def test_regression_past_tolerance_fails():
 
 def test_calibration_normalizes_uniform_slowdown():
     base = collect_metrics(payload())
-    # A uniformly 2x slower machine: every metric doubles, including the
-    # calibration one -- no regression should be reported.
-    cur = {k: 2.0 * v for k, v in base.items()}
+    # A uniformly 2x slower machine: every wall-clock metric doubles,
+    # including the calibration one, while simulated-clock metrics are
+    # machine-independent -- no regression should be reported.
+    cur = {k: (v if k.startswith(("slo/", "pressure/")) else 2.0 * v)
+           for k, v in base.items()}
     rows = compare_metrics(base, cur, tolerance=1.5,
                            calibrate="churn/large=64/p50_us")
     assert all(r.ok for r in rows)
@@ -67,6 +81,31 @@ def test_calibration_normalizes_uniform_slowdown():
     rows = compare_metrics(base, cur, tolerance=1.5,
                            calibrate="churn/large=64/p50_us")
     assert [r.key for r in rows if not r.ok] == ["engine/schedule/p50_us"]
+
+
+def test_calibration_skips_simulated_clock_metrics():
+    # slo/* and pressure/* come off the deterministic simulated clock:
+    # a 2x-faster machine must not turn identical values into an
+    # apparent 2x "speedup" (or, inverted, a regression).
+    base = collect_metrics(payload())
+    cur = {k: (v if k.startswith(("slo/", "pressure/")) else 2.0 * v)
+           for k, v in base.items()}
+    rows = compare_metrics(base, cur, tolerance=1.5,
+                           calibrate="churn/large=64/p50_us")
+    by_key = {r.key: r for r in rows}
+    assert by_key["slo/fanout=4/cache_aware/ttft_p50_s"].ratio == 1.0
+    assert by_key["pressure/fanout=4/cache_aware/preemptions"].ratio == 1.0
+    assert all(r.ok for r in rows)
+    # A genuine simulated-latency regression still trips the gate even
+    # though the machine-speed factor is 2x.
+    cur["slo/fanout=4/cache_aware/ttft_p50_s"] = 2.0 * base[
+        "slo/fanout=4/cache_aware/ttft_p50_s"
+    ]
+    rows = compare_metrics(base, cur, tolerance=1.5,
+                           calibrate="churn/large=64/p50_us")
+    assert [r.key for r in rows if not r.ok] == [
+        "slo/fanout=4/cache_aware/ttft_p50_s"
+    ]
 
 
 def test_calibration_metric_must_exist():

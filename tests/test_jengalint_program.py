@@ -220,15 +220,19 @@ def test_dropping_invalidating_event_turns_tree_red(tmp_path):
 
 
 def test_removing_subscribe_site_turns_tree_red(tmp_path):
+    # AdmissionBlocked's only subscriber is the pressure monitor; dropping
+    # it from the dispatch tuple orphans exactly that event (the tuple's
+    # other events have further subscribers elsewhere in the tree).
     root = _mutated_tree(
         tmp_path,
-        "serving/replica.py",
-        "self.events.subscribe(self._on_routed, [RequestRouted])",
-        "pass",
+        "obs/pressure.py",
+        "    _EVENT_TYPES = (AdmissionBlocked, PageEvicted, "
+        "RequestPreempted, StepCompleted)",
+        "    _EVENT_TYPES = (PageEvicted, RequestPreempted, StepCompleted)",
     )
     result = lint_paths([str(root)])
     assert {f.rule for f in result.findings} == {"orphan-event"}
-    assert {f.subject for f in result.findings} == {"event:RequestRouted"}
+    assert {f.subject for f in result.findings} == {"event:AdmissionBlocked"}
 
 
 # -- bench guard ----------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.core.events import (
     RequestFinished,
     RequestPreempted,
     RequestQueued,
+    RequestRouted,
     StepCompleted,
 )
 from repro.engine.metrics import MemorySnapshot, StepRecord
@@ -94,6 +95,42 @@ class TestTimeline:
         series = reg.timeline("mem/used")
         assert series.stride == 1
         assert len(series.points) == 10
+
+    def test_cap_honored_at_every_record(self):
+        reg = TelemetryRegistry()
+        series = reg.timeline("t", cap=16)
+        for i in range(5_000):
+            series.record(float(i), float(i))
+            assert len(series.points) < series.cap
+
+    def test_decimated_sketch_stays_uniform(self):
+        # After decimation the retained points must still sketch the
+        # *whole* run uniformly: first point kept, spacing bounded by the
+        # stride, coverage reaching the end of the series.
+        reg = TelemetryRegistry()
+        series = reg.timeline("t", cap=32)
+        n = 4_096
+        for i in range(n):
+            series.record(float(i), float(i))
+        times = [t for t, _ in series.points]
+        assert times[0] == 0.0
+        assert times == sorted(times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Uniform up to the one off-phase gap a decimation step introduces.
+        assert max(gaps) <= 2 * series.stride
+        assert times[-1] >= n - 2 * series.stride
+
+    def test_record_after_decimate_follows_new_stride(self):
+        series = TelemetryRegistry().timeline("t", cap=8)
+        for i in range(8):
+            series.record(float(i), float(i))
+        assert series.stride == 2  # one decimation happened
+        kept = len(series.points)
+        series.record(8.0, 8.0)  # off-phase: skipped by the new stride
+        assert len(series.points) == kept
+        assert series.last == (8.0, 8.0)  # ...but `last` always tracks
+        series.record(9.0, 9.0)  # stride boundary: appended
+        assert series.points[-1] == (9.0, 9.0)
 
 
 class TestRegistry:
@@ -218,6 +255,24 @@ class TestBusTelemetry:
         bus.emit(StepCompleted(0, 0.5, 0, record=None))
         assert telemetry.registry.counters["engine/steps"] == 1
         assert telemetry.registry.timelines == {}
+
+    def test_request_routed_counters(self):
+        # Regression: BusTelemetry ignored RequestRouted entirely, so
+        # cluster runs had no routing counters (same bug class as the
+        # PagesAllocated gap PR 8 fixed).
+        bus = EventBus(capacity=0)
+        telemetry = BusTelemetry(bus)
+        assert bus.has_subscribers(RequestRouted)
+        bus.emit(RequestRouted("r0", "replica-0", "cache_aware", 48))
+        bus.emit(RequestRouted("r1", "replica-1", "cache_aware", 0))
+        bus.emit(RequestRouted("r2", "replica-0", "round_robin", 16))
+        counters = telemetry.registry.counters
+        assert counters["routing/requests"] == 3
+        assert counters["routing/policy/cache_aware"] == 2
+        assert counters["routing/policy/round_robin"] == 1
+        assert counters["routing/replica/replica-0"] == 2
+        assert counters["routing/replica/replica-1"] == 1
+        assert counters["routing/expected_hit_tokens"] == 64
 
     def test_close_unsubscribes_idempotently(self):
         bus = EventBus(capacity=0)
