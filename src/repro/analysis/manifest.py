@@ -43,6 +43,9 @@ HOT_MODULES: FrozenSet[str] = frozenset(
         "repro/core/kv_alloc.py",
         "repro/core/kv_prefix.py",
         "repro/core/admission.py",
+        # The resizer handles StepCompleted on every engine step; its
+        # periodic decide path may scan groups but never the page pool.
+        "repro/core/resizer.py",
         # LCMAllocator hands out the large pages every small-page carve
         # goes through; found missing by the manifest-drift rule (its
         # class was in HOT_CLASSES but the module escaped every hot rule).
@@ -70,6 +73,12 @@ AUDITED_SLOW_FUNCS: FrozenSet[str] = frozenset(
         "can_admit_uncached",
         # LCM-pool introspection for tests/debugging, documented O(pool).
         "pages_owned_by",
+        # PoolResizer control plane: one observe/decide/apply pass per
+        # resize interval, O(#groups) with a sort over groups -- never
+        # O(pages), never per-step.
+        "decide",
+        "rebalance",
+        "_partition",
     }
 )
 
@@ -117,6 +126,7 @@ EVENT_CLASSES: FrozenSet[str] = frozenset(
         "RequestFailed",
         "RequestRouted",
         "StepCompleted",
+        "QuotaResized",
     }
 )
 
@@ -205,6 +215,7 @@ GUARDED_COUNTERS: Dict[str, str] = {
     "num_evictions": "GroupAllocator",
     # TwoLevelAllocator large-page accounting.
     "_num_fully_evictable": "TwoLevelAllocator",
+    "_num_large_owned": "TwoLevelAllocator",
     "num_large_evictions": "TwoLevelAllocator",
     # FreePool's three mutually-redundant indexes.
     "_entry": "FreePool",
@@ -240,5 +251,7 @@ HOT_CLASSES: FrozenSet[str] = frozenset(
         "Router",
         "ReplicaShadow",
         "PressureMonitor",
+        "PoolResizer",
+        "ResizePolicy",
     }
 )

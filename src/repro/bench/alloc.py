@@ -28,6 +28,10 @@ corrupted allocator:
   sweep over forked-prefix workloads: prefix hit rate, preemptions, and
   step latency per routing policy (round_robin / least_loaded /
   cache_aware), plus a replica-count scaling table.
+* **elastic** -- two tenants sharing one LCM pool under square-wave
+  alternating traffic, once per registered resize policy (static /
+  proportional / hysteresis): admission blocks and waste-bytes p50 show
+  whether elastic quota repartitioning beats the fixed equal split.
 
 Run via ``python benchmarks/bench_allocator.py [--smoke]`` or
 ``python -m repro.cli bench-alloc``; both write ``BENCH_alloc.json``.
@@ -59,6 +63,8 @@ __all__ = [
     "engine_bench",
     "fanout_requests",
     "routing_bench",
+    "elastic_requests",
+    "elastic_bench",
 ]
 
 _TEXT = frozenset({TEXT})
@@ -632,6 +638,187 @@ def routing_bench(
     }
 
 
+def elastic_requests(
+    phases: int,
+    requests_per_phase: int,
+    prefix_tokens: int = 384,
+    suffix_tokens: int = 32,
+    output_tokens: int = 160,
+    rate: float = 128.0,
+    idle_gap: float = 24.0,
+    seed: int = 0,
+) -> Dict[str, List[Request]]:
+    """Square-wave mixed-tenant traffic for the elastic sweep.
+
+    Tenants ``a`` and ``b`` alternate whole phases: all of phase ``p``'s
+    requests go to one tenant, share one fresh ``prefix_tokens``-token
+    prefix (so the burst exercises prefix caching and leaves evictable
+    cache behind when it drains), and arrive as a Poisson burst starting
+    ``idle_gap`` simulated seconds after the previous phase's last
+    arrival.  The result is the workload quotas exist for: whichever
+    tenant is bursting needs most of the pool, while the idle tenant's
+    footprint is pure reclaimable history.
+    """
+    from ..workloads import poisson_arrivals, token_block
+
+    per_tenant: Dict[str, List[Request]] = {"a": [], "b": []}
+    start = 0.0
+    for phase in range(phases):
+        tenant = "a" if phase % 2 == 0 else "b"
+        prefix = token_block(seed, f"{tenant}-phase{phase}", 0, prefix_tokens)
+        burst = [
+            Request.text(
+                f"{tenant}-p{phase:02d}-r{i:03d}",
+                prefix + token_block(
+                    seed + 1, f"{tenant}-p{phase}-sfx", i, suffix_tokens
+                ),
+                output_tokens,
+            )
+            for i in range(requests_per_phase)
+        ]
+        poisson_arrivals(burst, rate=rate, seed=seed + phase, start=start)
+        per_tenant[tenant].extend(burst)
+        start = burst[-1].arrival_time + idle_gap
+    return per_tenant
+
+
+def elastic_bench(
+    phases: int,
+    requests_per_phase: int = 24,
+    policies: tuple = ("static", "proportional", "hysteresis"),
+    resize_interval: int = 16,
+    pool_divisor: int = 1,
+    seed: int = 0,
+) -> Dict:
+    """Mixed-tenant elastic-repartitioning sweep: resize policy vs. waste.
+
+    Two deployments of the same model share one LCM pool
+    (:class:`~repro.engine.multi_model.MultiModelEngine` shared mode, all
+    groups namespaced per tenant) under :func:`elastic_requests`'s
+    alternating square-wave traffic.  One run per
+    :data:`~repro.core.resizer.RESIZE_POLICIES` entry: every run starts
+    from the same equal-split quota partition (laid down by
+    :class:`~repro.core.resizer.PoolResizer` at construction), and the
+    policy decides whether quotas then follow the traffic.  ``static``
+    is the fixed-partition baseline; ``proportional`` chases demand every
+    interval; ``hysteresis`` adds the dead-band/dwell gates.
+
+    Reported per policy: admission blocks, evictions, preemptions, and
+    the per-step waste-bytes p50 -- all on the simulated clock, hence
+    deterministic and CI-gated uncalibrated (the ``resizer/`` metric
+    prefix) -- plus wall-clock steps/s and step p50 for the calibrated
+    gate.  The ROADMAP acceptance bar is that ``hysteresis`` beats
+    ``static`` on *both* admission blocks and waste p50 at equal pool
+    size.
+    """
+    from ..core.events import EventBus
+    from ..core.resizer import PoolResizer
+    from ..engine.multi_model import MultiModelEngine
+    from ..obs.pressure import PressureMonitor
+    from ..obs.registry import TelemetryRegistry
+
+    model = get_model("gemma2-9b")
+    total_bytes = kv_budget(model, L4).kv_bytes // pool_divisor
+
+    rows: Dict[str, Dict] = {}
+    for policy in policies:
+        bus = EventBus(capacity=0)
+        registry = TelemetryRegistry()
+        monitor = PressureMonitor(bus, registry)
+        engine = MultiModelEngine(
+            {"a": model, "b": model}, L4, total_bytes,
+            shared=True, events=bus,
+            # record_memory feeds the occupancy component of the
+            # pressure score -- the signal the hysteresis gate opens on.
+            config=profile_config("vllm", record_memory=True),
+        )
+        allocator = engine.engines["a"].manager.allocator
+        resizer = PoolResizer(
+            allocator, monitor, bus, policy=policy, interval=resize_interval
+        )
+        for tenant, batch in elastic_requests(
+            phases, requests_per_phase, seed=seed
+        ).items():
+            engine.add_requests(tenant, batch)
+
+        large_bytes = allocator.lcm.large_page_bytes
+        tenant_groups = {
+            name: [g for g in allocator.groups if g.startswith(f"{name}/")]
+            for name in engine.engines
+        }
+        waste_samples: List[float] = []
+        step_lat: List[float] = []
+        while True:
+            t0 = time.perf_counter()
+            if engine.step() is None:
+                break
+            step_lat.append(time.perf_counter() - t0)
+            # Waste sample = the allocator's intrinsic waste (internal
+            # fragmentation + partial fill + slack) plus *quota-stranded*
+            # memory: free or fully-evictable large pages that no tenant
+            # with live demand has the quota headroom to carve.  The
+            # stranded term is the Section-3-style reservation waste a
+            # fixed partition creates and elastic repartitioning removes;
+            # with nobody demanding, nothing is stranded.
+            stats = allocator.stats()
+            reclaimable = allocator.lcm.num_free + len(allocator.large_evictor)
+            headroom = 0
+            demanding = False
+            for name, eng in engine.engines.items():
+                arrival = eng.waiting.next_arrival()
+                if not eng.running and (
+                    arrival is None or arrival > engine.clock
+                ):
+                    continue
+                demanding = True
+                for gid in tenant_groups[name]:
+                    quota = allocator.quota_of(gid)
+                    if quota is None:
+                        headroom = reclaimable
+                        break
+                    headroom += max(
+                        0, quota - allocator.large_pages_owned(gid)
+                    )
+            stranded = max(0, reclaimable - headroom) if demanding else 0
+            waste_samples.append(
+                float(stats.waste_bytes + stranded * large_bytes)
+            )
+
+        _assert_stats_equal(allocator)
+        allocator.check_invariants()
+        counters = registry.counters
+        finished = sum(
+            len(e.metrics().requests) for e in engine.engines.values()
+        )
+        failed = sum(len(e.failed) for e in engine.engines.values())
+        resizer.close()
+        monitor.close()
+        wall = max(sum(step_lat), 1e-12)
+        rows[policy] = {
+            "finished": finished,
+            "failed": failed,
+            # Simulated-clock / event-count metrics: deterministic per
+            # seed, gated uncalibrated under the resizer/ prefix.
+            "admission_blocked": counters.get("pressure/admission_blocked", 0),
+            "evictions": counters.get("pressure/evictions", 0),
+            "preemptions": counters.get("pressure/preemptions", 0),
+            "quota_moves": resizer.num_resizes,
+            "reclaimed_large": resizer.num_reclaimed,
+            "waste_bytes_p50": percentile(waste_samples, 0.50),
+            # Wall-clock: gated under the calibrated elastic/ prefix.
+            "steps": len(step_lat),
+            "steps_per_sec": len(step_lat) / wall,
+            "step_p50_us": _percentiles(step_lat)["p50_us"],
+        }
+    return {
+        "phases": phases,
+        "requests_per_phase": requests_per_phase,
+        "requests": phases * requests_per_phase,
+        "resize_interval": resize_interval,
+        "policies": rows,
+    }
+
+
 _FULL_SCALE = {
     "churn_sizes": [64, 256, 1024],
     "churn_ops": 60_000,
@@ -649,6 +836,9 @@ _FULL_SCALE = {
     "routing_replicas": 4,
     "routing_families": 6,
     "routing_scaling_replicas": [2, 4],
+    "elastic_phases": [4, 8],
+    "elastic_requests_per_phase": 24,
+    "elastic_resize_interval": 16,
 }
 # Smoke sweep points deliberately overlap the full-scale ones (queue depth
 # 100, admission depth 64, churn size 64, prefix fanout 4 at the same
@@ -674,6 +864,11 @@ _SMOKE_SCALE = {
     "routing_replicas": 4,
     "routing_families": 6,
     "routing_scaling_replicas": [2],
+    # Overlaps the full-scale elastic sweep at phases=4 with identical
+    # per-phase load, so the deterministic resizer/* metrics gate at ~1.0x.
+    "elastic_phases": [4],
+    "elastic_requests_per_phase": 24,
+    "elastic_resize_interval": 16,
 }
 
 
@@ -805,6 +1000,25 @@ def run_benchmark(
         say(f"    hit {row['hit_rate']:.3f}  "
             f"{row['tokens_per_sec_per_replica']:,.0f} tok/s/replica")
 
+    elastic_sweep = []
+    for elastic_phases in knobs["elastic_phases"]:
+        say(f"[elastic] {elastic_phases} phases x "
+            f"{knobs['elastic_requests_per_phase']} requests, "
+            f"2 tenants, one pool ...")
+        elastic_sweep.append(
+            elastic_bench(
+                elastic_phases,
+                requests_per_phase=knobs["elastic_requests_per_phase"],
+                resize_interval=knobs["elastic_resize_interval"],
+                seed=seed,
+            )
+        )
+        for policy, row in elastic_sweep[-1]["policies"].items():
+            say(f"    {policy:<12} blocked {row['admission_blocked']:4d}  "
+                f"waste p50 {row['waste_bytes_p50'] / 1e6:7.1f}MB  "
+                f"moves {row['quota_moves']:3d}  "
+                f"{row['steps_per_sec']:,.0f} steps/s")
+
     say(f"[engine] synthetic run, {knobs['engine_requests']} requests ...")
     engine = engine_bench(knobs["engine_requests"], seed=seed)
     say(f"    {engine['steps']} steps at {engine['steps_per_sec']:,.0f} steps/s  "
@@ -860,6 +1074,13 @@ def run_benchmark(
             # replica count grows (per-replica pools shrink the workload's
             # locality footprint per GPU; pinned families keep hits flat).
             "replica_scaling": routing_scaling,
+        },
+        "elastic": {
+            # Mixed-tenant square-wave sweep: per resize policy, the
+            # deterministic admission-block count and waste-bytes p50
+            # (the elastic-vs-fixed-partition comparison), plus the
+            # wall-clock step cost of carrying the control loop.
+            "sweep": elastic_sweep,
         },
         "engine": engine,
         "invariant_checkpoints": sum(

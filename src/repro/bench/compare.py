@@ -76,6 +76,17 @@ def collect_metrics(payload: Dict) -> Dict[str, float]:
                     "admission_blocked"
                 ]
                 metrics[f"{base}/preemptions"] = pressure["preemptions"]
+    for cell in payload.get("elastic", {}).get("sweep", []):
+        for policy, row in sorted(cell.get("policies", {}).items()):
+            # Deterministic (simulated clock / event counts): resizer/
+            # prefix keeps them out of machine-speed calibration.
+            base = f"resizer/phases={cell['phases']}/policy={policy}"
+            metrics[f"{base}/admission_blocked"] = row["admission_blocked"]
+            metrics[f"{base}/waste_bytes_p50"] = row["waste_bytes_p50"]
+            # Wall-clock step cost of carrying the control loop: elastic/
+            # prefix, calibrated like every other latency metric.
+            wall = f"elastic/phases={cell['phases']}/policy={policy}"
+            metrics[f"{wall}/step_p50_us"] = row["step_p50_us"]
     return metrics
 
 
@@ -83,7 +94,7 @@ def collect_metrics(payload: Dict) -> Dict[str, float]:
 #: counts): deterministic for a given seed, so machine-speed calibration
 #: must not rescale them -- a 2x-faster CI machine would otherwise turn a
 #: bit-identical simulated latency into an apparent 2x regression.
-UNCALIBRATED_PREFIXES = ("slo/", "pressure/")
+UNCALIBRATED_PREFIXES = ("slo/", "pressure/", "resizer/")
 
 
 @dataclass(frozen=True)

@@ -288,6 +288,47 @@ def cmd_cluster_report(args) -> int:
     return 0
 
 
+def cmd_resize_report(args) -> int:
+    """Elastic-repartitioning sweep -> per-policy quota/blocking report."""
+    import json as _json
+
+    from .bench.alloc import elastic_bench
+
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    result = elastic_bench(
+        args.phases, requests_per_phase=args.requests_per_phase,
+        policies=policies, resize_interval=args.interval, seed=args.seed,
+    )
+    if args.json:
+        print(_json.dumps(result, indent=2))
+        return 0
+    header = (f"elastic sweep: {result['phases']} phases x "
+              f"{result['requests_per_phase']} requests, resize interval "
+              f"{result['resize_interval']} steps")
+    lines = [header, "-" * len(header)]
+    rows = [("policy", "finished", "failed", "blocked", "preempt",
+             "quota moves", "reclaimed", "waste p50 MB")]
+    for policy, row in result["policies"].items():
+        rows.append((
+            policy, str(row["finished"]), str(row["failed"]),
+            str(row["admission_blocked"]), str(row["preemptions"]),
+            str(row["quota_moves"]), str(row["reclaimed_large"]),
+            f"{row['waste_bytes_p50'] / 2**20:.0f}",
+        ))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for r in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    print("\n".join(lines))
+    if args.summary:
+        md = ["", f"### {header}", "",
+              "| " + " | ".join(rows[0]) + " |",
+              "|" + "---|" * len(rows[0])]
+        md += ["| " + " | ".join(r) + " |" for r in rows[1:]]
+        with open(args.summary, "a") as f:
+            f.write("\n".join(md) + "\n")
+    return 0
+
+
 def cmd_bench_alloc(args) -> int:
     from .bench.alloc import run_benchmark
 
@@ -451,6 +492,25 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON instead of text")
     p.set_defaults(func=cmd_cluster_report)
+
+    p = sub.add_parser(
+        "resize-report",
+        help="mixed-tenant elastic-repartitioning sweep -> per-policy "
+             "admission-blocking / waste / quota-move report",
+    )
+    p.add_argument("--phases", type=int, default=4,
+                   help="alternating square-wave traffic phases")
+    p.add_argument("--requests-per-phase", type=int, default=24)
+    p.add_argument("--interval", type=int, default=16,
+                   help="steps between resize decisions")
+    p.add_argument("--policies", default="static,proportional,hysteresis",
+                   help="comma-separated resize policies to compare")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--summary", default=None, metavar="PATH",
+                   help="append a markdown table (e.g. $GITHUB_STEP_SUMMARY)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of text")
+    p.set_defaults(func=cmd_resize_report)
 
     p = sub.add_parser(
         "bench-alloc",

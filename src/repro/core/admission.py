@@ -51,6 +51,7 @@ from .events import (
     PageEvicted,
     PageReleased,
     PagesAllocated,
+    QuotaResized,
 )
 from .layer_policy import GroupSpec, LayerTypePolicy
 from .sequence import SequenceSpec
@@ -69,11 +70,21 @@ class AdmissionSnapshot:
     instead; counting them twice would offset other groups' deficits).
     ``available`` is the shared large-page headroom,
     ``lcm.num_free + len(large_evictor)``.
+
+    ``quota_headroom[g]`` is the soft-quota carve headroom
+    ``max(0, quota - owned)`` (``None`` = unquotaed), and
+    ``own_fully_evictable[g]`` the group's members of the large evictor:
+    large pages a group pulls from ``available`` need carve headroom,
+    except that reclaiming its *own* fully-evictable pages is
+    quota-neutral (in-place via §5.4 step 5), so up to that many come
+    free of headroom.
     """
 
     local: Dict[str, int] = field(default_factory=dict)
     small_per_large: Dict[str, int] = field(default_factory=dict)
     available: int = 0
+    quota_headroom: Dict[str, Optional[int]] = field(default_factory=dict)
+    own_fully_evictable: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -114,6 +125,7 @@ class AdmissionCache:
         PageAcquired,
         PageEvicted,
         PageReleased,
+        QuotaResized,
     )
 
     #: Demand-memo bound: oldest entries are dropped past this many
@@ -186,17 +198,25 @@ class AdmissionCache:
             allocator = self._allocator
             local: Dict[str, int] = {}
             small_per_large: Dict[str, int] = {}
+            quota_headroom: Dict[str, Optional[int]] = {}
+            own_fully_evictable: Dict[str, int] = {}
             for group_id, group in allocator.groups.items():
-                overlap = (
-                    allocator.fully_evictable_large_pages(group_id)
-                    * group.small_per_large
-                )
+                own_fe = allocator.fully_evictable_large_pages(group_id)
+                overlap = own_fe * group.small_per_large
                 local[group_id] = group.num_free + len(group.evictor) - overlap
                 small_per_large[group_id] = group.small_per_large
+                own_fully_evictable[group_id] = own_fe
+                quota = group.quota
+                quota_headroom[group_id] = (
+                    None if quota is None
+                    else max(0, quota - allocator.large_pages_owned(group_id))
+                )
             snap = AdmissionSnapshot(
                 local=local,
                 small_per_large=small_per_large,
                 available=allocator.lcm.num_free + len(allocator.large_evictor),
+                quota_headroom=quota_headroom,
+                own_fully_evictable=own_fully_evictable,
             )
             self._snapshot = snap
             self._dirty = False

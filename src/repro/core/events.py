@@ -44,6 +44,7 @@ __all__ = [
     "PageEvicted",
     "PageEvictedToHost",
     "PageReleased",
+    "QuotaResized",
     "PrefixHit",
     "RequestQueued",
     "RequestAdmitted",
@@ -170,6 +171,28 @@ class PageReleased(Event):
     group_id: str
     page_id: int
     cached: bool
+
+
+@dataclass(frozen=True)
+class QuotaResized(Event):
+    """A group's soft large-page quota changed (elastic repartitioning).
+
+    Emitted by :meth:`~repro.core.two_level.TwoLevelAllocator.set_quota`
+    exactly once per resize, after any deflation reclaim ran.  ``reclaimed``
+    counts the fully-evictable / unpinned large pages the deflation freed
+    back to the LCM pool (each also published its own
+    :class:`PageEvicted` record); ``num_owned`` is the group's ownership
+    *after* the resize, which may still exceed ``new_quota`` -- quotas are
+    soft, and pages pinned by USED small pages are never reclaimed.  A
+    quota move changes the admission bounds (carve headroom), so this is
+    an :class:`~repro.core.admission.AdmissionCache` invalidator.
+    """
+
+    group_id: str
+    old_quota: Optional[int]
+    new_quota: Optional[int]
+    num_owned: int
+    reclaimed: int
 
 
 @dataclass(frozen=True)

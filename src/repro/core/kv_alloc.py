@@ -304,10 +304,12 @@ class AllocationMixin(BindingTableMixin):
         large_needed = 0
         for group_id, gross in entry.gross.items():
             n = gross
+            held = 0
             if bindings is not None:
                 # Pages already held (prefix-cache hits acquired at
                 # begin_request) need no new allocation.
-                n -= len(bindings[group_id].held)
+                held = len(bindings[group_id].held)
+                n -= held
                 if n < 0:
                     n = 0
             spec = self.specs[group_id]
@@ -318,11 +320,26 @@ class AllocationMixin(BindingTableMixin):
                 if limit + chunk_tokens < peak_tokens:
                     peak_tokens = limit + chunk_tokens
                 peak_pages = -(-peak_tokens // spec.tokens_per_page)
-                if peak_pages > n:
-                    n = peak_pages
+                # Held pages are part of the peak-resident set too --
+                # without the subtraction a probe taken while the prefix
+                # hit is pinned counts those pages as demand *and* (via
+                # ownership) against the quota headroom, and a request
+                # mostly served from its group's own cache gets refused.
+                if peak_pages - held > n:
+                    n = peak_pages - held
             deficit = n + watermark_pages - snap.local[group_id]
             if deficit > 0:
-                large_needed += -(-deficit // snap.small_per_large[group_id])
+                need = -(-deficit // snap.small_per_large[group_id])
+                headroom = snap.quota_headroom[group_id]
+                if (
+                    headroom is not None
+                    and need - snap.own_fully_evictable[group_id] > headroom
+                ):
+                    # Large pages beyond the group's own fully-evictable
+                    # ones must be carved, and the soft quota blocks the
+                    # carve regardless of shared availability.
+                    return False
+                large_needed += need
         return large_needed <= snap.available
 
     def admission_version(self) -> int:
@@ -356,6 +373,7 @@ class AllocationMixin(BindingTableMixin):
         pool, so the check is joint in large-page units.
         """
         large_needed = 0
+        bindings = self._bindings.get(seq.request_id)
         resident = self.resident_pages_needed(seq, len(seq))
         for group_id, n in resident.items():
             spec = self.specs[group_id]
@@ -363,25 +381,38 @@ class AllocationMixin(BindingTableMixin):
                 # Peak residency: a prefill chunk's blocks are all written
                 # before the out-of-window ones release at commit, so the
                 # group transiently holds up to window + chunk tokens
-                # (capped by the stream itself).
+                # (capped by the stream itself).  Pages already held by
+                # this request (pinned prefix hits) are part of that peak
+                # and need no new allocation -- matching the subtraction
+                # resident_pages_needed applied to ``n``.
                 stream_total = seq.stream_length(spec.accepted_tags)
                 limit = spec.window if spec.window is not None else spec.budget
                 assert limit is not None  # validated in GroupSpec.__post_init__
                 peak_tokens = min(stream_total, limit + chunk_tokens)
-                n = max(n, -(-peak_tokens // spec.tokens_per_page))
+                held = len(bindings[group_id].held) if bindings is not None else 0
+                n = max(n, -(-peak_tokens // spec.tokens_per_page) - held)
             group = self.allocator.groups[group_id]
             # The group's small pages inside its *own* fully-evictable
             # large pages are already claimable through ``available``
             # (the large evictor); counting them in ``local`` too would
             # double-count them against other groups' deficits.
-            overlap = (
-                self.allocator.fully_evictable_large_pages(group_id)
-                * group.small_per_large
-            )
+            own_fe = self.allocator.fully_evictable_large_pages(group_id)
+            overlap = own_fe * group.small_per_large
             local = group.num_free + len(group.evictor) - overlap
             deficit = n + watermark_pages - local
             if deficit > 0:
-                large_needed += -(-deficit // group.small_per_large)
+                need = -(-deficit // group.small_per_large)
+                quota = group.quota
+                if quota is not None:
+                    # Beyond the group's own fully-evictable large pages
+                    # (reclaimable in place, quota-neutral), every large
+                    # page must be carved under the soft-quota headroom.
+                    headroom = max(
+                        0, quota - self.allocator.large_pages_owned(group_id)
+                    )
+                    if need - own_fe > headroom:
+                        return False
+                large_needed += need
         available = self.allocator.lcm.num_free + len(self.allocator.large_evictor)
         return large_needed <= available
 

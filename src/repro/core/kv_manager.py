@@ -205,6 +205,26 @@ class JengaKVCacheManager(
         self.events = events
         self._admission.bind(events)
 
+    def foreign_used_bytes(self) -> int:
+        """USED bytes co-tenant views hold in a shared allocator.
+
+        A privately-owned allocator carries exactly this manager's groups,
+        so the answer is 0 without scanning.  On a shared pool the engine
+        uses this to tell "my pool is idle and the request still does not
+        fit" (permanent failure) from "a co-tenant is holding the memory
+        right now" (block and retry): only USED pages count, because
+        evictable and free memory is reclaimable through the normal
+        allocation steps and so never justifies waiting.
+        """
+        groups = self.allocator.groups
+        if len(groups) == len(self.specs):
+            return 0
+        total = 0
+        for group_id, group in groups.items():
+            if group_id not in self.specs:
+                total += group.n_used * group.spec.page_bytes
+        return total
+
     # ------------------------------------------------------------------
     # Commit / release
     # ------------------------------------------------------------------

@@ -262,6 +262,16 @@ class KVCacheManagerBase:
     def take_onload_bytes(self, request_id: str) -> int:
         return 0
 
+    def foreign_used_bytes(self) -> int:
+        # USED bytes held by co-tenant views of a shared pool.  A private
+        # pool has no co-tenants, so the default is 0 -- which keeps the
+        # engine's empty-GPU permanent-failure heuristic exact for every
+        # single-tenant manager: a request that cannot be admitted onto an
+        # idle private pool can never be admitted.  Shared-allocator views
+        # override this so a tenant squeezed by its neighbours *waits*
+        # instead of failing.
+        return 0
+
     def owned_groups(self) -> FrozenSet[str]:
         # Empty set == "no filtering": a backend that owns its whole pool
         # reports every group as its own.

@@ -40,6 +40,7 @@ from .events import (
     PageEvicted,
     PageReleased,
     PagesAllocated,
+    QuotaResized,
 )
 from .evictor import LRUEvictor
 from .free_pool import FreePool
@@ -103,6 +104,12 @@ class GroupAllocator:
         # Sum of num_tokens over USED pages (for partial-fill accounting);
         # maintained by the KV manager through note_fill().
         self.used_filled_tokens = 0
+        # Soft cap on large pages this group may *own* (None = unlimited).
+        # Enforced at carve time (steps 2/3); ownership may exceed the
+        # quota after a deflation until releases catch up.  Set through
+        # TwoLevelAllocator.set_quota, which also runs the deflation
+        # reclaim and publishes the QuotaResized record.
+        self.quota: Optional[int] = None
 
     def note_fill(self, delta_tokens: int) -> None:
         """Record a change in filled token slots of USED pages."""
@@ -222,6 +229,10 @@ class TwoLevelAllocator:
         # Members of large_evictor per owning group, maintained alongside
         # every add/remove so capacity probes never scan the evictor.
         self._num_fully_evictable: Dict[str, int] = {g: 0 for g in specs}
+        # Large pages currently owned (carved) per group; the O(1) counter
+        # the soft-quota carve gate and admission headroom read.  Moves
+        # only in _carve_and_take / _return_large_page.
+        self._num_large_owned: Dict[str, int] = {g: 0 for g in specs}
         self.num_large_evictions = 0
         # Optional hook fired when a *cached* (hashed) page is reclaimed:
         # (group_id, block_hash, page_bytes).  The KV manager uses it to
@@ -318,13 +329,22 @@ class TwoLevelAllocator:
             if page is not None:
                 return self._activate(group, page, request_id), 1
 
+        # Steps 2/3 grow the group's large-page ownership, so both sit
+        # behind the soft-quota gate.  A group at quota still reaches its
+        # own memory through steps 1/4/5 (empty and evictable small pages,
+        # including those inside its own fully-evictable large pages).
+        under_quota = (
+            group.quota is None
+            or self._num_large_owned[group.spec.group_id] < group.quota
+        )
+
         # Step 2: carve a fresh large page.
-        if self.lcm.has_free():
+        if under_quota and self.lcm.has_free():
             page = self._carve_and_take(group, request_id)
             return self._activate(group, page, request_id), 2
 
         # Step 3: evict a fully-evictable large page (any group's).
-        if len(self.large_evictor):
+        if under_quota and len(self.large_evictor):
             victim_id, last_access, prefix_length = self.large_evictor.evict_with_key()
             victim_group = self.lcm.page(victim_id).owner_group
             assert victim_group is not None
@@ -365,6 +385,7 @@ class TwoLevelAllocator:
                 group.spec.group_id, large.page_id, group.small_per_large
             ))
         self._large_counts[large.page_id] = [group.small_per_large, 0, 0]
+        self._num_large_owned[group.spec.group_id] += 1
         first: Optional[SmallPage] = None
         for slot in range(group.small_per_large):
             page = group.new_page(large.page_id, slot, request_id)
@@ -565,6 +586,7 @@ class TwoLevelAllocator:
         # O(all free pages of the group).
         group.free_pool.purge_large(large_id)
         del self._large_counts[large_id]
+        self._num_large_owned[large.owner_group] -= 1
         self._large_evictor_discard(large_id)
         self.lcm.free(large_id)
 
@@ -637,6 +659,93 @@ class TwoLevelAllocator:
     def fully_evictable_large_pages(self, group_id: str) -> int:
         """Large-evictor members owned by ``group_id`` (O(1) counter)."""
         return self._num_fully_evictable[group_id]
+
+    def large_pages_owned(self, group_id: str) -> int:
+        """Large pages currently carved for ``group_id`` (O(1) counter)."""
+        return self._num_large_owned[group_id]
+
+    def quota_of(self, group_id: str) -> Optional[int]:
+        """``group_id``'s soft large-page quota (``None`` = unlimited)."""
+        return self.groups[group_id].quota
+
+    def set_quota(self, group_id: str, quota: Optional[int]) -> int:
+        """Set ``group_id``'s soft large-page quota; returns pages reclaimed.
+
+        The elastic-repartitioning actuator (ROADMAP; eLLM in PAPERS.md).
+        Inflating (or clearing, ``quota=None``) only moves the carve gate.
+        Deflating below current ownership additionally reclaims the
+        group's reclaimable large pages -- fully-evictable ones first in
+        LRU order, then any owned large page holding no USED small page
+        (coldest first) -- until ownership meets the new quota or nothing
+        reclaimable remains.  Large pages pinned by USED small pages are
+        never touched: the quota is *soft*, ownership may exceed it until
+        releases catch up, and no new carves happen until it does.
+
+        Publishes exactly one guarded :class:`QuotaResized` record per
+        quota *change* (plus one :class:`PageEvicted` per reclaimed large
+        page), so event-driven admission snapshots rebuild against the
+        new headroom; setting the same quota again is a silent no-op.
+        """
+        if quota is not None and quota < 0:
+            raise ValueError(f"negative quota {quota} for group {group_id}")
+        group = self.groups[group_id]
+        old = group.quota
+        if old == quota:
+            # No-op: emitting would dirty every admission snapshot on the
+            # bus for a partition that did not move.
+            return 0
+        group.quota = quota
+        reclaimed = 0
+        if quota is not None and self._num_large_owned[group_id] > quota:
+            reclaimed = self._deflate_slow(group_id, quota)
+        if self.events is not None and self.events.has_subscribers(QuotaResized):
+            self.events.emit(QuotaResized(
+                group_id, old, quota, self._num_large_owned[group_id], reclaimed
+            ))
+        return reclaimed
+
+    def _deflate_slow(self, group_id: str, quota: int) -> int:
+        """Reclaim ``group_id``'s large pages down toward ``quota``.
+
+        Control-plane path (runs once per resize, not per allocation):
+        scans the group's owned large pages -- documented O(owned), hence
+        the ``slow`` audit suffix.  Two passes, both coldest-first on the
+        (last_access, prefix_length) eviction key: fully-evictable large
+        pages, then partially-empty ones with no USED small page.
+        """
+        group = self.groups[group_id]
+        excess = self._num_large_owned[group_id] - quota
+        reclaimed = 0
+        for fully_evictable_only in (True, False):
+            if reclaimed >= excess:
+                break
+            victims: List[Tuple[float, float, int]] = []
+            for large in self.lcm.pages_owned_by(group_id):
+                large_id = large.page_id
+                if large_id in self.large_evictor:
+                    if not fully_evictable_only:
+                        continue  # pass 1 already took what it wanted
+                    last, prefix = self.large_evictor.priority_of(large_id)
+                elif fully_evictable_only:
+                    continue
+                else:
+                    counts = self._large_counts.get(large_id)
+                    if counts is None or counts[1] != 0:
+                        continue  # pinned by a USED small page
+                    last, prefix = self._large_key_scan(large_id)
+                victims.append((last, prefix, large_id))
+            victims.sort()
+            for last, prefix, victim_id in victims:
+                if reclaimed >= excess:
+                    break
+                self._evict_large_page(victim_id)
+                self.num_large_evictions += 1
+                reclaimed += 1
+                if self.events is not None and self.events.has_subscribers(PageEvicted):
+                    self.events.emit(PageEvicted(
+                        group_id, victim_id, "large", last, prefix
+                    ))
+        return reclaimed
 
     def reclaimable_pages(self, group_id: str) -> int:
         """Upper bound on small pages of ``group_id`` obtainable right now.
@@ -775,11 +884,13 @@ class TwoLevelAllocator:
             # num_free needs no separate running counter.
             assert group.num_free == n_empty, (group_id, group.num_free, n_empty)
         fully_by_group = {g: 0 for g in self.groups}
+        owned_by_group = {g: 0 for g in self.groups}
         for large_id, counts in self._large_counts.items():
             total = self._total_slots(large_id)
             assert sum(counts) == total, (large_id, counts, total)
             large = self.lcm.page(large_id)
             assert large.owner_group is not None
+            owned_by_group[large.owner_group] += 1
             group = self.groups[large.owner_group]
             actual = [0, 0, 0]
             for sid in large.small_page_ids:
@@ -800,4 +911,7 @@ class TwoLevelAllocator:
                 )
         assert fully_by_group == self._num_fully_evictable, (
             fully_by_group, self._num_fully_evictable
+        )
+        assert owned_by_group == self._num_large_owned, (
+            owned_by_group, self._num_large_owned
         )

@@ -343,9 +343,12 @@ class LLMEngine:
                 seq, self.config.watermark_pages, self.config.max_num_batched_tokens
             ):
                 self.manager.release(seq, cacheable=True)
-                if not self.running:
+                if not self.running and self.manager.foreign_used_bytes() == 0:
                     # Even an empty GPU cannot host this request: permanent
-                    # failure (the paper's Ministral-on-L4 vLLM case).
+                    # failure (the paper's Ministral-on-L4 vLLM case).  On
+                    # a shared pool "empty" must mean the *pool*, not this
+                    # engine: co-tenant USED bytes explain the refusal, so
+                    # the request blocks and retries once they drain.
                     self.waiting.pop_ready(now)
                     request.state = RequestState.FINISHED
                     self.failed.append(request)
@@ -368,7 +371,7 @@ class LLMEngine:
                 if self.manager.has_vision_cache:
                     if not self.manager.allocate_vision(seq):
                         self.manager.release(seq, cacheable=True)
-                        if not self.running:
+                        if not self.running and self.manager.foreign_used_bytes() == 0:
                             self.waiting.pop_ready(now)
                             request.state = RequestState.FINISHED
                             self.failed.append(request)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..core.events import EventBus
 from ..core.kv_manager import JengaKVCacheManager
 from ..core.layer_policy import GroupSpec, make_policy
 from ..core.two_level import TwoLevelAllocator
@@ -80,6 +81,15 @@ class MultiModelEngine:
         tokens_per_page: Small-page granularity, plumbed identically
             through both modes so shared vs. static comparisons never
             silently run different page sizes.
+        events: One bus shared by *every* deployment's engine.  ``None``
+            (default) keeps per-engine private buses.  A shared bus is how
+            pool-level control loops (``PressureMonitor`` + ``PoolResizer``
+            in the elastic benchmark) observe all tenants' admission and
+            step traffic in one place; the trade-off is that bus-derived
+            collector tallies (step lists, preemption counts) merge across
+            deployments, so per-deployment metrics should then come from
+            each engine's own finished-request list or from registry
+            counters, not from ``MetricsCollector``.
     """
 
     def __init__(
@@ -91,6 +101,7 @@ class MultiModelEngine:
         config: Optional[SchedulerConfig] = None,
         enable_prefix_caching: bool = True,
         tokens_per_page: int = 16,
+        events: Optional[EventBus] = None,
     ) -> None:
         if not models:
             raise ValueError("at least one model deployment is required")
@@ -98,6 +109,9 @@ class MultiModelEngine:
         self.gpu = gpu
         self.shared = shared
         self.clock = 0.0
+        # Deployments whose last step made no progress (memory-blocked on
+        # a co-tenant); cleared the moment they step successfully.
+        self._stalled: set = set()
         self.engines: Dict[str, LLMEngine] = {}
         if shared:
             managers = build_shared_managers(
@@ -119,7 +133,9 @@ class MultiModelEngine:
                     enable_prefix_caching=enable_prefix_caching,
                 )
         for name, model in models.items():
-            self.engines[name] = LLMEngine(model, gpu, managers[name], config=config)
+            self.engines[name] = LLMEngine(
+                model, gpu, managers[name], config=config, events=events
+            )
 
     # ------------------------------------------------------------------
 
@@ -139,19 +155,22 @@ class MultiModelEngine:
         with only queued requests is ready at their earliest arrival.  The
         multiplexer owns idle-time jumps -- letting an idle engine's own
         step() jump to a future arrival would drag the *shared* clock
-        forward and starve the deployment that is actually busy.
+        forward and starve the deployment that is actually busy.  On a
+        ready-time tie a memory-stalled deployment yields to an active
+        one: re-probing the stalled tenant cannot succeed until the
+        active tenant has run and released pages.
         """
-        best: Optional[Tuple[float, str]] = None
+        best: Optional[Tuple[float, bool, str]] = None
         for name, engine in self.engines.items():
-            if engine.running:
-                ready = engine.clock
-            elif engine.waiting:
-                ready = max(engine.clock, engine.waiting.next_arrival() or 0.0)
-            else:
+            ready = self._ready_time(engine)
+            if ready is None:
                 continue
-            if best is None or (ready, name) < best:
-                best = (ready, name)
-        return best
+            key = (ready, name in self._stalled, name)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        return (best[0], best[2])
 
     def step(self) -> Optional[str]:
         """Run one step of the next deployment; returns its name."""
@@ -166,7 +185,39 @@ class MultiModelEngine:
         engine.clock = max(engine.clock, self.clock)
         if engine.step() is not None:
             self.clock = max(self.clock, engine.clock)
+            self._stalled.discard(name)
+            return name
+        if not engine.waiting:
+            self._stalled.discard(name)
+            return name
+        # The deployment has queued work but made no progress: admission
+        # refused it while a co-tenant holds the shared pool (the engine
+        # only fails a request permanently when the whole pool is idle).
+        # Park its clock at the next *other* deployment's ready time so
+        # the multiplexer runs the tenant actually holding the memory; if
+        # every deployment with work is parked, nobody can ever free a
+        # page and the run ends instead of spinning.
+        self._stalled.add(name)
+        others = [
+            r for other, eng in self.engines.items()
+            if other != name
+            for r in [self._ready_time(eng)]
+            if r is not None
+        ]
+        if not others or all(
+            n in self._stalled for n, e in self.engines.items()
+            if self._ready_time(e) is not None
+        ):
+            return None
+        engine.clock = max(engine.clock, min(others))
         return name
+
+    def _ready_time(self, engine: LLMEngine) -> Optional[float]:
+        if engine.running:
+            return engine.clock
+        if engine.waiting:
+            return max(engine.clock, engine.waiting.next_arrival() or 0.0)
+        return None
 
     def run(self, max_steps: int = 1_000_000) -> Dict[str, EngineMetrics]:
         steps = 0

@@ -31,6 +31,7 @@ from ..core.events import (
     Event,
     EventBus,
     PageEvicted,
+    QuotaResized,
     RequestPreempted,
     StepCompleted,
 )
@@ -68,7 +69,13 @@ class PressureMonitor:
     tracks in the merged cluster trace.
     """
 
-    _EVENT_TYPES = (AdmissionBlocked, PageEvicted, RequestPreempted, StepCompleted)
+    _EVENT_TYPES = (
+        AdmissionBlocked,
+        PageEvicted,
+        QuotaResized,
+        RequestPreempted,
+        StepCompleted,
+    )
 
     def __init__(
         self, events: EventBus, registry: Optional[TelemetryRegistry] = None
@@ -88,7 +95,12 @@ class PressureMonitor:
         # so the handler must not pay an f-string per event.
         self._group_count_keys: Dict[str, str] = {}
         self._group_rate_keys: Dict[str, str] = {}
+        self._group_quota_keys: Dict[str, str] = {}
         self.score = 0.0
+        # Latest simulated-clock step time, so resize timeline points land
+        # next to the pressure/score track even though QuotaResized itself
+        # carries no timestamp.
+        self._time = 0.0
         events.subscribe(self._on_event, self._EVENT_TYPES)
 
     def close(self) -> None:
@@ -106,6 +118,15 @@ class PressureMonitor:
             if name.startswith("pressure/"):
                 out[name] = value
         return out
+
+    def group_eviction_rates(self) -> Dict[str, float]:
+        """Per-group EWMA eviction rates (events/step), a fresh copy.
+
+        The per-group pressure component a bound
+        :class:`~repro.core.resizer.PoolResizer` folds into its demand
+        weights; O(#groups) per call, control-plane only.
+        """
+        return dict(self._group_rates)
 
     # ------------------------------------------------------------------
 
@@ -129,11 +150,24 @@ class PressureMonitor:
         elif isinstance(event, RequestPreempted):
             self._preemptions += 1
             reg.inc("pressure/preemptions")
+        elif isinstance(event, QuotaResized):
+            # One record per resize decision (control plane): the quota
+            # staircase lands on the sim-clock timeline next to
+            # pressure/score, so Chrome traces show each counter step.
+            gid = event.group_id
+            key = self._group_quota_keys.get(gid)
+            if key is None:
+                key = self._group_quota_keys[gid] = f"pressure/group/{gid}/quota"
+            reg.inc("pressure/quota_resized")
+            if event.new_quota is not None:
+                reg.set_gauge(key, float(event.new_quota))
+                reg.record_point(key, self._time, float(event.new_quota))
         elif isinstance(event, StepCompleted):
             self._on_step(event)
 
     def _on_step(self, event: StepCompleted) -> None:
         reg = self.registry
+        self._time = event.time
         blocked = self._fold("blocked_rate", self._blocks)
         self._fold("eviction_rate", self._evictions)
         preempted = self._fold("preemption_rate", self._preemptions)

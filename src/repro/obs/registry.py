@@ -41,6 +41,7 @@ from ..core.events import (
     PageReleased,
     PagesAllocated,
     PrefixHit,
+    QuotaResized,
     RequestAdmitted,
     RequestFailed,
     RequestFinished,
@@ -275,6 +276,7 @@ class BusTelemetry:
         PageEvictedToHost,
         PageReleased,
         PrefixHit,
+        QuotaResized,
         RequestQueued,
         RequestAdmitted,
         RequestPreempted,
@@ -333,6 +335,16 @@ class BusTelemetry:
             reg.inc("prefix/lookups")
             reg.inc("prefix/hit_tokens", event.hit_tokens)
             reg.inc("prefix/lookup_tokens", event.lookup_tokens)
+        elif isinstance(event, QuotaResized):
+            # One event per resize decision (control plane, not per page),
+            # so the f-string group key is off the per-page hot path.
+            reg.inc("resize/quota_resized")
+            reg.inc(f"resize/group/{event.group_id}/resizes")
+            reg.inc("resize/reclaimed_large", event.reclaimed)
+            if event.new_quota is not None:
+                reg.set_gauge(
+                    f"resize/group/{event.group_id}/quota", float(event.new_quota)
+                )
         elif isinstance(event, RequestQueued):
             reg.inc("requests/queued")
         elif isinstance(event, RequestAdmitted):

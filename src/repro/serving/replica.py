@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..baselines import make_manager
 from ..core.events import Event, EventBus, RequestRouted
+from ..core.resizer import PoolResizer
 from ..engine.engine import LLMEngine
 from ..engine.metrics import EngineMetrics
 from ..engine.request import Request
@@ -82,6 +83,14 @@ class Replica:
             registry.
         registry: Registry the monitors write to; a private one is created
             when omitted and any monitor is requested.
+        resizing: Name of a registered
+            :class:`~repro.core.resizer.ResizePolicy` (``"static"`` /
+            ``"proportional"`` / ``"hysteresis"``); attaches a per-replica
+            :class:`~repro.core.resizer.PoolResizer` closing the pressure
+            feedback loop.  Requires ``pressure=True`` (the control
+            signal) and a manager exposing a two-level ``allocator`` (the
+            actuated surface).  ``None`` (default) attaches nothing.
+        resize_interval: Simulated steps between resize passes.
     """
 
     def __init__(
@@ -101,6 +110,8 @@ class Replica:
         telemetry: bool = False,
         pressure: bool = False,
         registry: Optional[TelemetryRegistry] = None,
+        resizing: Optional[str] = None,
+        resize_interval: int = 32,
     ) -> None:
         self.replica_id = replica_id
         self.model = model
@@ -132,6 +143,16 @@ class Replica:
             model, gpu, manager, config=config, events=self.events,
             tracer=self.tracer,
         )
+        # The resizer subscribes after the monitors so each StepCompleted
+        # reaches it with the pressure EWMAs already folded for that step.
+        self.resizer: Optional[PoolResizer] = None
+        if resizing is not None:
+            if self.pressure is None:
+                raise ValueError("resizing requires pressure=True (the control signal)")
+            self.resizer = PoolResizer(
+                manager.allocator, self.pressure, self.events,
+                policy=resizing, interval=resize_interval,
+            )
         # The replica is its own consumer of routing decisions: the
         # router emits RequestRouted on the chosen replica's bus, and
         # these counters keep per-replica routing telemetry exact even
@@ -190,6 +211,8 @@ class Replica:
         class ``MetricsCollector.close`` fixed at the engine layer.
         """
         self.events.unsubscribe(self._on_routed)
+        if self.resizer is not None:
+            self.resizer.close()
         if self.telemetry is not None:
             self.telemetry.close()
         if self.pressure is not None:

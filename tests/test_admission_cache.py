@@ -33,6 +33,7 @@ from repro.core.events import (
     PageReleased,
     PagesAllocated,
     PrefixHit,
+    QuotaResized,
     RequestAdmitted,
     RequestQueued,
     StepCompleted,
@@ -71,6 +72,7 @@ INVALIDATING_EVENTS = [
     PageAcquired("full", 1, "r"),
     PageEvicted("full", 1, "small"),
     PageReleased("full", 1, True),
+    QuotaResized("full", 8, 4, 6, 2),
 ]
 
 NON_INVALIDATING_EVENTS = [

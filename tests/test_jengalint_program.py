@@ -219,6 +219,18 @@ def test_dropping_invalidating_event_turns_tree_red(tmp_path):
     assert {f.subject for f in result.findings} == {"event:PageEvicted"}
 
 
+def test_dropping_quota_event_from_invalidators_turns_tree_red(tmp_path):
+    # QuotaResized moves the admission carve headroom, so dropping it from
+    # the cache's INVALIDATING tuple must trip invalidation-coverage --
+    # the lint that keeps resize events wired into snapshot rebuilds.
+    root = _mutated_tree(
+        tmp_path, "core/admission.py", "        QuotaResized,\n", ""
+    )
+    result = lint_paths([str(root)])
+    assert {f.rule for f in result.findings} == {"invalidation-coverage"}
+    assert {f.subject for f in result.findings} == {"event:QuotaResized"}
+
+
 def test_removing_subscribe_site_turns_tree_red(tmp_path):
     # AdmissionBlocked's only subscriber is the pressure monitor; dropping
     # it from the dispatch tuple orphans exactly that event (the tuple's
@@ -226,9 +238,8 @@ def test_removing_subscribe_site_turns_tree_red(tmp_path):
     root = _mutated_tree(
         tmp_path,
         "obs/pressure.py",
-        "    _EVENT_TYPES = (AdmissionBlocked, PageEvicted, "
-        "RequestPreempted, StepCompleted)",
-        "    _EVENT_TYPES = (PageEvicted, RequestPreempted, StepCompleted)",
+        "        AdmissionBlocked,\n",
+        "",
     )
     result = lint_paths([str(root)])
     assert {f.rule for f in result.findings} == {"orphan-event"}
